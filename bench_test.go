@@ -1,0 +1,165 @@
+package coregap
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5). Each benchmark regenerates its artifact through the
+// full machinery and reports the headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the paper's result set.
+//
+// Benchmarks use moderately sized sweeps to keep a full -bench=. run in
+// the minutes range; cmd/benchsuite runs the paper-sized versions.
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkTable2NullRMMCall regenerates Table 2: null RMM call
+// latencies over the three transports.
+func BenchmarkTable2NullRMMCall(b *testing.B) {
+	var r Table2Result
+	for i := 0; i < b.N; i++ {
+		r = RunTable2(42)
+	}
+	b.ReportMetric(float64(r.Async), "async-ns")
+	b.ReportMetric(float64(r.Sync), "sync-ns")
+	b.ReportMetric(float64(r.SameCore), "samecore-ns")
+}
+
+// BenchmarkTable3VirtualIPI regenerates Table 3: virtual IPI latency.
+func BenchmarkTable3VirtualIPI(b *testing.B) {
+	var r Table3Result
+	for i := 0; i < b.N; i++ {
+		r = RunTable3(42)
+	}
+	b.ReportMetric(r.NoDeleg.Micros(), "nodeleg-us")
+	b.ReportMetric(r.Delegated.Micros(), "deleg-us")
+	b.ReportMetric(r.SharedCore.Micros(), "shared-us")
+}
+
+// BenchmarkTable4ExitCounts regenerates Table 4: CoreMark-PRO exit
+// counts with and without interrupt delegation.
+func BenchmarkTable4ExitCounts(b *testing.B) {
+	var r Table4Result
+	for i := 0; i < b.N; i++ {
+		r = RunTable4(42)
+	}
+	b.ReportMetric(float64(r.InterruptExits[0]), "irq-exits-nodeleg")
+	b.ReportMetric(float64(r.InterruptExits[1]), "irq-exits-deleg")
+	b.ReportMetric(float64(r.TotalExits[0]), "total-exits-nodeleg")
+	b.ReportMetric(float64(r.TotalExits[1]), "total-exits-deleg")
+}
+
+// BenchmarkTable5Redis regenerates Table 5: the Redis benchmark under
+// both execution modes.
+func BenchmarkTable5Redis(b *testing.B) {
+	var r Table5Result
+	for i := 0; i < b.N; i++ {
+		r = RunTable5(400*Millisecond, 42)
+	}
+	for _, row := range r.Rows {
+		name := strings.ReplaceAll(row.Op.String()+"-"+row.Mode, " ", "-")
+		b.ReportMetric(row.Throughput, name+"-krps")
+	}
+}
+
+// BenchmarkFig3VulnTimeline regenerates Figure 3's catalogue and runs
+// the attack battery verifying every mitigation verdict.
+func BenchmarkFig3VulnTimeline(b *testing.B) {
+	var r Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = RunFig3(42)
+	}
+	b.ReportMetric(float64(r.Summary.Total), "vulns")
+	b.ReportMetric(float64(r.Summary.Mitigated), "mitigated")
+	b.ReportMetric(float64(len(r.ZeroDayLeaks)), "leaks-sharedcore")
+	b.ReportMetric(float64(len(r.CoreGappedLeaks)), "leaks-coregapped")
+}
+
+// BenchmarkFig6CoreMarkScaling regenerates Figure 6 (reduced sweep) and
+// the §5.2 run-to-run latency statistic.
+func BenchmarkFig6CoreMarkScaling(b *testing.B) {
+	var r Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = RunFig6([]int{2, 4, 8, 16}, 300*Millisecond, 42)
+	}
+	b.ReportMetric(r.Figure.Series("shared-core").MaxY(), "shared-max-score")
+	b.ReportMetric(r.Figure.Series("core-gapped").MaxY(), "gapped-max-score")
+	b.ReportMetric(r.Figure.Series("busy-wait, no delegation").MaxY(), "busywait-max-score")
+	b.ReportMetric(r.RunToRunMean.Micros(), "run-to-run-us")
+}
+
+// BenchmarkFig7MultiVM regenerates Figure 7 (reduced sweep): aggregate
+// score for an increasing count of 4-core VMs.
+func BenchmarkFig7MultiVM(b *testing.B) {
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		fig = RunFig7(8, 200*Millisecond, 42)
+	}
+	b.ReportMetric(fig.Series("shared-core").MaxY(), "shared-agg-score")
+	b.ReportMetric(fig.Series("core-gapped").MaxY(), "gapped-agg-score")
+}
+
+// BenchmarkFig8NetPIPE regenerates Figure 8 (reduced sweep): NetPIPE
+// latency/throughput for virtio and SR-IOV under both modes.
+func BenchmarkFig8NetPIPE(b *testing.B) {
+	var r Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = RunFig8([]int{1024, 65536, 1 << 20}, 30, 42)
+	}
+	if y, ok := r.Latency.Series("SR-IOV shared-core").YAt(1024); ok {
+		b.ReportMetric(y, "sriov-shared-lat-us")
+	}
+	if y, ok := r.Latency.Series("SR-IOV core-gapped").YAt(1024); ok {
+		b.ReportMetric(y, "sriov-gapped-lat-us")
+	}
+	if y, ok := r.Throughput.Series("virtio core-gapped").YAt(65536); ok {
+		b.ReportMetric(y, "virtio-gapped-gbps")
+	}
+}
+
+// BenchmarkFig9IOzone regenerates Figure 9 (reduced sweep): sync virtio
+// block throughput vs record size.
+func BenchmarkFig9IOzone(b *testing.B) {
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		fig = RunFig9([]int{4 << 10, 256 << 10, 16 << 20}, 42)
+	}
+	if y, ok := fig.Series("shared-core read").YAt(4 << 10); ok {
+		b.ReportMetric(y, "shared-4k-mibs")
+	}
+	if y, ok := fig.Series("core-gapped read").YAt(4 << 10); ok {
+		b.ReportMetric(y, "gapped-4k-mibs")
+	}
+	if y, ok := fig.Series("core-gapped read").YAt(16 << 20); ok {
+		b.ReportMetric(y, "gapped-16m-mibs")
+	}
+}
+
+// BenchmarkFig10KernelBuild regenerates Figure 10 (reduced sweep):
+// kernel build time scaling on a virtio disk.
+func BenchmarkFig10KernelBuild(b *testing.B) {
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		fig = RunFig10([]int{4, 8, 16}, 150, 42)
+	}
+	if y, ok := fig.Series("shared-core").YAt(16); ok {
+		b.ReportMetric(y, "shared-16c-s")
+	}
+	if y, ok := fig.Series("core-gapped").YAt(16); ok {
+		b.ReportMetric(y, "gapped-16c-s")
+	}
+}
+
+// BenchmarkSecurityBattery runs the full attack battery under the three
+// schedulings (the §2.4 threat-model validation).
+func BenchmarkSecurityBattery(b *testing.B) {
+	var gapped BatteryResult
+	var zeroDay BatteryResult
+	for i := 0; i < b.N; i++ {
+		h := NewAttackHarness(42, 2, false)
+		zeroDay = h.RunBattery(SharedTimeSlicedNoFlush)
+		gapped = h.RunBattery(CoreGappedPlacement)
+	}
+	b.ReportMetric(float64(len(zeroDay.LeakedVulns())), "leaks-shared-zeroday")
+	b.ReportMetric(float64(len(gapped.LeakedVulns())), "leaks-coregapped")
+}

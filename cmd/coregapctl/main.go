@@ -1,0 +1,139 @@
+// Command coregapctl runs one VM scenario on a simulated node and prints
+// its metrics — a workbench for exploring how execution mode, delegation
+// and placement affect a workload.
+//
+// Usage:
+//
+//	coregapctl -mode gapped -workload coremark -cores 8 -vcpus 7 -work 500ms
+//	coregapctl -mode shared -workload iozone -record 65536
+//	coregapctl -mode busywait -workload coremark -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"coregap/internal/core"
+	"coregap/internal/guest"
+	"coregap/internal/sim"
+)
+
+var (
+	mode     = flag.String("mode", "gapped", "gapped | shared | nodeleg | busywait")
+	workload = flag.String("workload", "coremark", "coremark | coremarkpro | iozone | ipibench | kbuild")
+	cores    = flag.Int("cores", 8, "physical cores on the node")
+	vcpus    = flag.Int("vcpus", 0, "guest vCPUs (default: cores-1 gapped, cores shared)")
+	work     = flag.Duration("work", 500*time.Millisecond, "compute per vCPU (coremark)")
+	record   = flag.Int("record", 64<<10, "record size in bytes (iozone)")
+	totalIO  = flag.Int64("total", 64<<20, "total bytes (iozone)")
+	jobs     = flag.Int("jobs", 100, "compile jobs (kbuild)")
+	rounds   = flag.Int("rounds", 200, "ping-pong rounds (ipibench)")
+	seed     = flag.Uint64("seed", 1, "simulation seed")
+	verbose  = flag.Bool("v", false, "dump the full metric set")
+)
+
+func main() {
+	flag.Parse()
+
+	var opts core.Options
+	switch *mode {
+	case "gapped":
+		opts = core.GappedDefault()
+	case "shared":
+		opts = core.Baseline()
+	case "nodeleg":
+		opts = core.GappedNoDelegation()
+	case "busywait":
+		opts = core.GappedBusyWait()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	n := *vcpus
+	if n == 0 {
+		n = *cores
+		if opts.Mode == core.Gapped {
+			n--
+		}
+	}
+
+	node := core.NewNode(*cores, opts, core.DefaultParams(), *seed)
+	var prog guest.Program
+	var report func(end sim.Time)
+	simWork := sim.Duration(work.Nanoseconds())
+
+	switch *workload {
+	case "coremark":
+		cm := guest.NewCoreMark(n, simWork)
+		prog = cm
+		report = func(end sim.Time) {
+			fmt.Printf("score: %.3f effective cores over %v\n", cm.Score(sim.Duration(end)), end)
+		}
+	case "coremarkpro":
+		cmp := guest.NewCoreMarkPro(n, simWork, func() sim.Time { return node.Eng.Now() })
+		prog = cmp
+		report = func(end sim.Time) {
+			fmt.Printf("CoreMark-PRO mark: %.3f (geomean of %d workloads) over %v\n",
+				cmp.Mark(), len(guest.ProWorkloads()), end)
+			for _, w := range guest.ProWorkloads() {
+				fmt.Printf("  %-28s %.3f\n", w.Name, cmp.PhaseScores()[w.Name])
+			}
+		}
+	case "iozone":
+		z := guest.NewIOzone(*record, true, *totalIO)
+		n = 1
+		prog = z
+		report = func(end sim.Time) {
+			fmt.Printf("throughput: %.1f MiB/s over %v\n", z.Throughput(sim.Duration(end)), end)
+		}
+	case "ipibench":
+		b := guest.NewIPIBench(*rounds)
+		n = 2
+		prog = b
+		report = func(end sim.Time) {
+			h := node.Met.Hist("vm0.vipi.latency")
+			fmt.Printf("vIPI latency: mean %v p99 %v over %d deliveries\n",
+				h.Mean(), h.Percentile(99), h.Count())
+		}
+	case "kbuild":
+		kb := guest.NewKBuild(*jobs, n, 250*sim.Millisecond, node.Eng.Source("kbuild"))
+		prog = kb
+		report = func(end sim.Time) {
+			fmt.Printf("build: %d jobs in %v\n", kb.Finished(), end)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	vm, err := node.NewVM("vm0", n, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vm setup: %v\n", err)
+		os.Exit(1)
+	}
+
+	end := node.RunUntilAllHalted(30 * 60 * sim.Second)
+	fmt.Printf("mode=%s workload=%s cores=%d vcpus=%d\n", opts.Mode, *workload, *cores, n)
+	report(end)
+
+	exits := node.Met.Counter("vm0.exits.total").Value()
+	irq := node.Met.Counter("vm0.exits.interrupt").Value()
+	fmt.Printf("exits: %d total, %d interrupt-related\n", exits, irq)
+	if h := node.Met.Hist("vm0.runtorun"); h.Count() > 0 {
+		fmt.Printf("run-to-run latency: mean %v p99 %v\n", h.Mean(), h.Percentile(99))
+	}
+	if opts.Mode == core.Gapped {
+		fmt.Printf("dedicated cores: %v, host core: %v\n", vm.GuestCores(), vm.HostCore())
+		tok, err := node.Mon.Token(vm.Realm(), [32]byte{1})
+		if err == nil {
+			fmt.Printf("attestation: core-gapped=%v rim=%s...\n", tok.CoreGapped, tok.RIM.String()[:16])
+		}
+	}
+	if *verbose {
+		fmt.Println()
+		fmt.Print(node.Met.String())
+	}
+}

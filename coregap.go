@@ -1,0 +1,170 @@
+// Package coregap is the public API of the core-gapped confidential VM
+// library: a faithful, executable reproduction of "Sharing is leaking:
+// blocking transient-execution attacks with core-gapped confidential VMs"
+// (ASPLOS 2024).
+//
+// The library models the complete stack the paper builds and evaluates —
+// an Arm-CCA-class machine, the realm management monitor with the
+// paper's core-gapping extensions, a Linux/KVM-like host, kvmtool-like
+// device models, and the evaluated guest workloads — on a deterministic
+// discrete-event simulator. Two execution paths are provided:
+//
+//   - Baseline(): traditional shared-core VMs (exits handled on-core);
+//   - GappedDefault(): core-gapped CVMs (dedicated cores, cross-core RPC
+//     exit handling, delegated interrupt management), plus the
+//     GappedNoDelegation() and GappedBusyWait() ablations.
+//
+// Quick start:
+//
+//	node := coregap.NewNode(8, coregap.GappedDefault(), coregap.DefaultParams(), 42)
+//	workload := coregap.NewCoreMark(4, coregap.Second)
+//	vm, err := node.NewVM("tenant-a", 4, workload)
+//	...
+//	node.RunUntilAllHalted(10 * coregap.Second)
+//
+// Every table and figure of the paper's evaluation can be regenerated
+// through the Run* experiment functions (see also cmd/benchsuite and the
+// benchmarks in bench_test.go).
+package coregap
+
+import (
+	"coregap/internal/attack"
+	"coregap/internal/core"
+	"coregap/internal/guest"
+	"coregap/internal/sim"
+	"coregap/internal/trace"
+	"coregap/internal/vulncat"
+)
+
+// Simulation time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Core system types.
+type (
+	// Node is a physical machine with its full software stack.
+	Node = core.Node
+	// VM is one guest in either execution mode.
+	VM = core.VM
+	// VCPU is one virtual CPU.
+	VCPU = core.VCPU
+	// Options selects the execution policy under test.
+	Options = core.Options
+	// Params is the calibrated cost model.
+	Params = core.Params
+	// Mode selects shared-core or core-gapped execution.
+	Mode = core.Mode
+
+	// Duration and Time are simulated nanoseconds.
+	Duration = sim.Duration
+	Time     = sim.Time
+
+	// Program is a guest workload.
+	Program = guest.Program
+	// Action and Event are the workload interface vocabulary.
+	Action = guest.Action
+	Event  = guest.Event
+
+	// Figure and Table are reproduced evaluation artifacts.
+	Figure = trace.Figure
+	Table  = trace.Table
+)
+
+// Execution modes.
+const (
+	SharedCore = core.SharedCore
+	Gapped     = core.Gapped
+)
+
+// Node construction.
+var (
+	NewNode       = core.NewNode
+	DefaultParams = core.DefaultParams
+
+	Baseline           = core.Baseline
+	GappedDefault      = core.GappedDefault
+	GappedNoDelegation = core.GappedNoDelegation
+	GappedBusyWait     = core.GappedBusyWait
+)
+
+// Workloads (the paper's evaluation suite).
+var (
+	NewCoreMark = guest.NewCoreMark
+	NewNetPIPE  = guest.NewNetPIPE
+	NewIOzone   = guest.NewIOzone
+	NewRedis    = guest.NewRedis
+	NewKBuild   = guest.NewKBuild
+	NewIPIBench = guest.NewIPIBench
+
+	// EncodeOpTag / DecodeOpTag pack a Redis operation and client id
+	// into the request tags the load generator uses.
+	EncodeOpTag = guest.EncodeOpTag
+	DecodeOpTag = guest.DecodeOpTag
+)
+
+// Redis operations for Table 5 workloads.
+const (
+	OpSet       = guest.OpSet
+	OpGet       = guest.OpGet
+	OpLRange100 = guest.OpLRange100
+)
+
+// Guest device classes.
+const (
+	VirtioNet = guest.VirtioNet
+	VirtioBlk = guest.VirtioBlk
+	SRIOVNet  = guest.SRIOVNet
+)
+
+// Experiment runners: one per table and figure in the paper's evaluation.
+var (
+	RunTable2 = core.RunTable2
+	RunTable3 = core.RunTable3
+	RunTable4 = core.RunTable4
+	RunTable5 = core.RunTable5
+	RunFig3   = core.RunFig3
+	RunFig6   = core.RunFig6
+	RunFig7   = core.RunFig7
+	RunFig8   = core.RunFig8
+	RunFig9   = core.RunFig9
+	RunFig10  = core.RunFig10
+)
+
+// Experiment result types.
+type (
+	Table2Result = core.Table2Result
+	Table3Result = core.Table3Result
+	Table4Result = core.Table4Result
+	Table5Result = core.Table5Result
+	Fig3Result   = core.Fig3Result
+	Fig6Result   = core.Fig6Result
+	Fig8Result   = core.Fig8Result
+)
+
+// Security side: the vulnerability catalogue and attack harness.
+type (
+	// Vuln is one catalogued vulnerability (Fig. 3).
+	Vuln = vulncat.Vuln
+	// AttackHarness runs attacker/victim batteries.
+	AttackHarness = attack.Harness
+	// BatteryResult is one battery's outcome.
+	BatteryResult = attack.BatteryResult
+)
+
+// Security constructors and schedulings.
+var (
+	VulnCatalogue    = vulncat.Catalogue
+	SummarizeVulns   = vulncat.Summarize
+	NewAttackHarness = attack.NewHarness
+)
+
+// Attack schedulings.
+const (
+	SharedTimeSliced        = attack.SharedTimeSliced
+	SharedTimeSlicedNoFlush = attack.SharedTimeSlicedNoFlush
+	CoreGappedPlacement     = attack.CoreGappedPlacement
+)

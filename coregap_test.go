@@ -1,0 +1,106 @@
+package coregap
+
+// Integration tests through the public facade: the API a downstream user
+// actually programs against.
+
+import (
+	"testing"
+)
+
+func TestPublicAPISharedAndGapped(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		opts  Options
+		vcpus int
+	}{
+		{"baseline", Baseline(), 4},
+		{"gapped", GappedDefault(), 3},
+		{"gapped-nodeleg", GappedNoDelegation(), 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			node := NewNode(4, tc.opts, DefaultParams(), 7)
+			cm := NewCoreMark(tc.vcpus, 50*Millisecond)
+			vm, err := node.NewVM("vm", tc.vcpus, cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			end := node.RunUntilAllHalted(10 * Second)
+			if !cm.Done() {
+				t.Fatal("workload incomplete")
+			}
+			score := cm.Score(Duration(end))
+			if score < float64(tc.vcpus)*0.9 {
+				t.Fatalf("score = %.2f, want ~%d", score, tc.vcpus)
+			}
+			if tc.opts.Mode == Gapped {
+				if len(vm.GuestCores()) != tc.vcpus {
+					t.Fatal("dedicated core count")
+				}
+				tok, err := node.Mon.Token(vm.Realm(), [32]byte{1})
+				if err != nil || !tok.CoreGapped {
+					t.Fatalf("attestation: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	node := NewNode(3, GappedDefault(), DefaultParams(), 7)
+	z := NewIOzone(64<<10, false, 1<<20)
+	if _, err := node.NewVM("io", 1, z); err != nil {
+		t.Fatal(err)
+	}
+	node.RunUntilAllHalted(10 * Second)
+	if z.Moved() != 1<<20 {
+		t.Fatalf("moved %d", z.Moved())
+	}
+}
+
+func TestPublicAPIVulnCatalogue(t *testing.T) {
+	vulns := VulnCatalogue()
+	if len(vulns) < 30 {
+		t.Fatalf("catalogue = %d", len(vulns))
+	}
+	s := SummarizeVulns(vulns)
+	if s.Mitigated < 30 || s.Total-s.Mitigated > 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPublicAPIAttackBattery(t *testing.T) {
+	h := NewAttackHarness(7, 2, false)
+	gapped := h.RunBattery(CoreGappedPlacement)
+	if leaks := gapped.LeakedVulns(); len(leaks) != 1 || leaks[0] != "CrossTalk" {
+		t.Fatalf("gapped leaks = %v", leaks)
+	}
+	shared := h.RunBattery(SharedTimeSlicedNoFlush)
+	if len(shared.LeakedVulns()) < 20 {
+		t.Fatal("shared battery leaked too little")
+	}
+}
+
+func TestPublicAPIRedisTags(t *testing.T) {
+	tag := EncodeOpTag(OpLRange100, 17)
+	op, client := DecodeOpTag(tag)
+	if op != OpLRange100 || client != 17 {
+		t.Fatal("tag round trip")
+	}
+}
+
+func TestPublicAPIExperimentRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	// Smoke the remaining runners through the facade (shape tests live
+	// in internal/core).
+	if r := RunTable2(7); r.Table == nil || r.Async == 0 {
+		t.Fatal("table2")
+	}
+	if fig := RunFig7(2, 100*Millisecond, 7); len(fig.Labels()) != 2 {
+		t.Fatal("fig7")
+	}
+	if r := RunFig3(7); r.Timeline == nil {
+		t.Fatal("fig3")
+	}
+}

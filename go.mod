@@ -1,0 +1,3 @@
+module coregap
+
+go 1.22

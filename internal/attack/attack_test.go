@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"testing"
+
+	"coregap/internal/uarch"
+	"coregap/internal/vulncat"
+)
+
+func TestSharedCoreZeroDayLeaks(t *testing.T) {
+	h := NewHarness(1, 2, false)
+	res := h.RunBattery(SharedTimeSlicedNoFlush)
+	leaked := res.LeakedVulns()
+	// Without mitigations, time-slicing on one core leaks through most
+	// same-core structures that carry data (branch-only channels carry
+	// control-flow, still counted when tagged secret).
+	if len(leaked) < 20 {
+		t.Fatalf("zero-day shared-core battery leaked only %d: %v", len(leaked), leaked)
+	}
+}
+
+func TestSharedCoreFlushedStillLeaks(t *testing.T) {
+	// Deployed mitigations cover MDS-class buffers, but structures
+	// outside their reach (L1D contents, TLBs, APIC state) still leak —
+	// the paper's "flushing cannot protect against everything".
+	h := NewHarness(1, 2, false)
+	res := h.RunBattery(SharedTimeSliced)
+	leaked := map[string]bool{}
+	for _, n := range res.LeakedVulns() {
+		leaked[n] = true
+	}
+	if !leaked["Meltdown"] && !leaked["Foreshadow"] && !leaked["AEPIC leak"] {
+		t.Fatalf("flush-covered battery should still leak via unflushed structures: %v",
+			res.LeakedVulns())
+	}
+	// But MDS-class attacks through flushed buffers are stopped.
+	if leaked["ZombieLoad"] || leaked["Fallout"] {
+		t.Fatalf("flushed store/fill buffers still leaked: %v", res.LeakedVulns())
+	}
+}
+
+func TestCoreGappingStopsAllButCrossCore(t *testing.T) {
+	h := NewHarness(1, 2, false)
+	res := h.RunBattery(CoreGappedPlacement)
+	leaked := res.LeakedVulns()
+	// The paper's headline: the only surviving leak with a data channel
+	// in a cloud setting is CrossTalk's shared staging buffer. (LLC and
+	// interconnect contention channels carry no secret-tagged data in
+	// this model; NetSpectre is remote and rate-limited to <10 b/h.)
+	for _, name := range leaked {
+		if name != "CrossTalk" {
+			t.Fatalf("core gapping leaked through %s (all leaks: %v)", name, leaked)
+		}
+	}
+	if len(leaked) != 1 || leaked[0] != "CrossTalk" {
+		t.Fatalf("expected exactly CrossTalk to survive, got %v", leaked)
+	}
+}
+
+func TestBatteryConsistentWithCatalogueVerdicts(t *testing.T) {
+	h := NewHarness(1, 2, false)
+	res := h.RunBattery(CoreGappedPlacement)
+	for _, o := range res.Outcomes {
+		if o.Leaked && o.Vuln.MitigatedByCoreGapping() {
+			t.Errorf("%s: leaked under core gapping but catalogued as mitigated", o.Vuln.Name)
+		}
+	}
+}
+
+func TestLLCPartitioningClosesCacheChannel(t *testing.T) {
+	// §2.4 recommends hardware cache partitioning for the remaining
+	// LLC side channel; with it on, LLC residue becomes unobservable.
+	h := NewHarness(1, 2, true)
+	h.runVictim(0)
+	prim := Primitive{Vuln: vulncat.Vuln{
+		Name: "llc-probe", Scope: vulncat.CrossCore,
+		Structures: []uarch.StructKind{uarch.LLC},
+	}}
+	samples := prim.SampleCore(h.Machine(), 1, h.Attacker())
+	for _, s := range samples {
+		if s.Victim == h.Victim() {
+			t.Fatalf("partitioned LLC still observable: %+v", s)
+		}
+	}
+
+	// Without partitioning, the victim's footprint is visible.
+	h2 := NewHarness(1, 2, false)
+	h2.runVictim(0)
+	samples2 := prim.SampleCore(h2.Machine(), 1, h2.Attacker())
+	found := false
+	for _, s := range samples2 {
+		if s.Victim == h2.Victim() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unpartitioned LLC shows no victim footprint")
+	}
+}
+
+func TestCrossTalkLeaksRegardlessOfPlacement(t *testing.T) {
+	// The staging buffer is shared by all cores: core gapping cannot
+	// help (the paper is explicit that CrossTalk needed a ucode fix).
+	h := NewHarness(1, 2, false)
+	var crossTalk vulncat.Vuln
+	for _, v := range vulncat.Catalogue() {
+		if v.Name == "CrossTalk" {
+			crossTalk = v
+		}
+	}
+	o := h.Attempt(crossTalk, CoreGappedPlacement)
+	if !o.Leaked {
+		t.Fatal("CrossTalk must leak across cores via the staging buffer")
+	}
+}
+
+func TestSameThreadSamplesCarrySecrets(t *testing.T) {
+	h := NewHarness(1, 2, false)
+	h.runVictim(0)
+	prim := Primitive{Vuln: vulncat.Vuln{
+		Name: "mds-like", Scope: vulncat.SiblingSMT,
+		Structures: []uarch.StructKind{uarch.FillBuffer, uarch.StoreBuffer},
+	}}
+	samples := prim.SampleCore(h.Machine(), 0, h.Attacker())
+	if len(LeakedFrom(samples, h.Victim())) == 0 {
+		t.Fatal("same-core sampling of an unflushed victim found no secrets")
+	}
+	// The same primitive on the other core sees nothing.
+	samples = prim.SampleCore(h.Machine(), 1, h.Attacker())
+	if len(LeakedFrom(samples, h.Victim())) != 0 {
+		t.Fatal("per-core structures leaked across cores")
+	}
+}
+
+func TestSchedulingStrings(t *testing.T) {
+	for s, want := range map[Scheduling]string{
+		SharedTimeSliced:        "shared-core (flushing monitor)",
+		SharedTimeSlicedNoFlush: "shared-core (unmitigated zero-day)",
+		CoreGappedPlacement:     "core-gapped",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+}
+
+func TestBatteryString(t *testing.T) {
+	h := NewHarness(1, 2, false)
+	res := h.RunBattery(CoreGappedPlacement)
+	if res.String() == "" {
+		t.Fatal("empty battery summary")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"coregap/internal/guest"
+	"coregap/internal/sim"
+	"coregap/internal/trace"
+)
+
+// Fig6Result is the CoreMark-PRO scaling experiment (Fig. 6) plus the
+// §5.2 run-to-run latency statistic.
+type Fig6Result struct {
+	Figure *trace.Figure
+	// RunToRunMean/Stddev at the largest core count, full design — the
+	// paper reports 26.18 ± 0.96 µs, stable across guest core counts.
+	RunToRunMean   sim.Duration
+	RunToRunStddev sim.Duration
+}
+
+// runCoreMark runs CoreMark-PRO on a fresh node and reports the score
+// (work-seconds per second, i.e. effective cores) and the node.
+func runCoreMark(opts Options, machineCores, vcpus int, work sim.Duration, seed uint64) (float64, *Node) {
+	n := NewNode(machineCores, opts, DefaultParams(), seed)
+	cm := guest.NewCoreMark(vcpus, work)
+	if _, err := n.NewVM("vm0", vcpus, cm); err != nil {
+		panic(fmt.Sprintf("coremark setup: %v", err))
+	}
+	end := n.RunUntilAllHalted(sim.Duration(200) * work)
+	if !cm.Done() {
+		panic("coremark did not finish within the horizon")
+	}
+	return cm.Score(sim.Duration(end)), n
+}
+
+// RunFig6 reproduces the CoreMark-PRO scaling figure: shared-core
+// baseline VMs with N vCPUs on N cores versus core-gapped CVMs with N-1
+// dedicated cores plus one host core, and the two busy-wait ablations
+// (Fig. 6's cyan lines). Higher is better; the x axis is total physical
+// cores, following §5.1's equal-resources accounting.
+func RunFig6(coreCounts []int, workPerVCPU sim.Duration, seed uint64) Fig6Result {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{2, 4, 8, 16, 32, 48, 64}
+	}
+	fig := trace.NewFigure("Figure 6", "CoreMark-PRO scaling (shared-core vs core-gapped)",
+		"cores", "score (effective cores)")
+	var res Fig6Result
+
+	for _, N := range coreCounts {
+		if N < 2 {
+			continue
+		}
+		score, _ := runCoreMark(Baseline(), N, N, workPerVCPU, seed)
+		fig.Series("shared-core").Add(float64(N), score)
+
+		score, n := runCoreMark(GappedDefault(), N, N-1, workPerVCPU, seed)
+		fig.Series("core-gapped").Add(float64(N), score)
+		h := n.Met.Hist("vm0.runtorun")
+		if h.Count() > 0 {
+			res.RunToRunMean = h.Mean()
+			res.RunToRunStddev = h.Stddev()
+		}
+
+		bw := GappedBusyWait()
+		bw.DelegateTimer, bw.DelegateVIPI = true, true
+		score, _ = runCoreMark(bw, N, N-1, workPerVCPU, seed)
+		fig.Series("busy-wait (delegated)").Add(float64(N), score)
+
+		score, _ = runCoreMark(GappedBusyWait(), N, N-1, workPerVCPU, seed)
+		fig.Series("busy-wait, no delegation").Add(float64(N), score)
+	}
+	res.Figure = fig
+	return res
+}
+
+// RunFig7 reproduces the multi-VM scaling figure: an increasing count of
+// 4-core VMs, with every gapped VMM pinned to the single host core. The
+// y axis is the aggregate CoreMark-PRO score.
+func RunFig7(maxVMs int, workPerVCPU sim.Duration, seed uint64) *trace.Figure {
+	if maxVMs <= 0 {
+		maxVMs = 16
+	}
+	fig := trace.NewFigure("Figure 7", "Scaling to multiple 4-core VMs",
+		"VMs", "aggregate score")
+	const vcpusPerVM = 4
+
+	for _, mode := range []struct {
+		label string
+		opts  Options
+	}{
+		{"shared-core", Baseline()},
+		{"core-gapped", GappedDefault()},
+	} {
+		for k := 1; k <= maxVMs; k *= 2 {
+			cores := vcpusPerVM * k
+			if mode.opts.Mode == Gapped {
+				cores++ // the single host core all VMMs share
+			}
+			n := NewNode(cores, mode.opts, DefaultParams(), seed)
+			marks := make([]*guest.CoreMark, k)
+			for i := 0; i < k; i++ {
+				marks[i] = guest.NewCoreMark(vcpusPerVM, workPerVCPU)
+				if _, err := n.NewVM(fmt.Sprintf("vm%d", i), vcpusPerVM, marks[i]); err != nil {
+					panic(err)
+				}
+			}
+			end := n.RunUntilAllHalted(sim.Duration(200) * workPerVCPU)
+			agg := 0.0
+			for _, cm := range marks {
+				if !cm.Done() {
+					panic("fig7: VM did not finish")
+				}
+				agg += cm.Score(sim.Duration(end))
+			}
+			fig.Series(mode.label).Add(float64(k), agg)
+			if k == 1 && maxVMs == 1 {
+				break
+			}
+		}
+	}
+	return fig
+}

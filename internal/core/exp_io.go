@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"coregap/internal/guest"
+	"coregap/internal/sim"
+	"coregap/internal/trace"
+	"coregap/internal/vmm"
+)
+
+// Fig8Result carries the NetPIPE latency and throughput figures.
+type Fig8Result struct {
+	Latency    *trace.Figure // one-way latency (µs) vs message size
+	Throughput *trace.Figure // Gbit/s vs message size
+}
+
+// netpipePoint runs one NetPIPE configuration and reports the mean RTT.
+func netpipePoint(opts Options, dev guest.DeviceClass, msgBytes, rounds int, seed uint64) sim.Duration {
+	const cores = 4 // small VM: 1 server vCPU is what NetPIPE exercises
+	n := NewNode(cores, opts, DefaultParams(), seed)
+	vcpus := 1
+	np := guest.NewNetPIPE(dev, msgBytes, rounds)
+	vm, err := n.NewVM("vm0", vcpus, np)
+	if err != nil {
+		panic(err)
+	}
+
+	peer := vmm.NewPeer(n.Eng, vm.VMM.Costs(), n.Met)
+	hist := n.Met.Hist("netpipe.rtt")
+	pp := vmm.NewPingPong(peer, msgBytes, rounds, hist, nil)
+	switch dev {
+	case guest.VirtioNet:
+		peer.Connect(vm.VMM.Net.DeliverToGuest)
+		vm.VMM.Net.ConnectPeer(pp.OnEcho)
+	default:
+		peer.Connect(vm.VMM.VF.DeliverToGuest)
+		vm.VMM.VF.ConnectPeer(pp.OnEcho)
+	}
+	// Let the VM boot (hotplug handoff takes ~2 ms) before load starts.
+	n.Eng.After(5*sim.Millisecond, "start-netpipe", pp.Start)
+	n.RunUntilAllHalted(120 * sim.Second)
+	// The guest halts after transmitting its final echo; drain the wire
+	// so the client sees it.
+	n.Eng.RunFor(5 * sim.Millisecond)
+	if pp.Done() < rounds {
+		panic(fmt.Sprintf("netpipe: only %d/%d rounds (%v %v %dB)",
+			pp.Done(), rounds, opts.Mode, dev, msgBytes))
+	}
+	return hist.Mean()
+}
+
+// RunFig8 reproduces the NetPIPE figure: latency and throughput versus
+// message size for virtio and SR-IOV interfaces, shared-core versus
+// core-gapped.
+func RunFig8(sizes []int, rounds int, seed uint64) Fig8Result {
+	if len(sizes) == 0 {
+		sizes = []int{64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20}
+	}
+	if rounds <= 0 {
+		rounds = 40
+	}
+	lat := trace.NewFigure("Figure 8", "NetPIPE TCP results", "message bytes", "latency us (one-way)")
+	tput := trace.NewFigure("Figure 8b", "NetPIPE TCP throughput", "message bytes", "Gbit/s")
+
+	configs := []struct {
+		label string
+		opts  Options
+		dev   guest.DeviceClass
+	}{
+		{"virtio shared-core", Baseline(), guest.VirtioNet},
+		{"virtio core-gapped", GappedDefault(), guest.VirtioNet},
+		{"SR-IOV shared-core", Baseline(), guest.SRIOVNet},
+		{"SR-IOV core-gapped", GappedDefault(), guest.SRIOVNet},
+	}
+	for _, c := range configs {
+		for _, size := range sizes {
+			rtt := netpipePoint(c.opts, c.dev, size, rounds, seed)
+			lat.Series(c.label).Add(float64(size), rtt.Micros()/2)
+			gbps := float64(size) * 8 / rtt.Seconds() / 1e9
+			tput.Series(c.label).Add(float64(size), gbps)
+		}
+	}
+	return Fig8Result{Latency: lat, Throughput: tput}
+}
+
+// RunFig9 reproduces the IOzone figure: synchronous O_DIRECT read/write
+// throughput to a virtio block device versus record size.
+func RunFig9(records []int, seed uint64) *trace.Figure {
+	if len(records) == 0 {
+		records = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	}
+	fig := trace.NewFigure("Figure 9", "IOzone sync I/O throughput (virtio-blk, O_DIRECT)",
+		"record bytes", "MiB/s")
+
+	for _, mode := range []struct {
+		label string
+		opts  Options
+	}{
+		{"shared-core", Baseline()},
+		{"core-gapped", GappedDefault()},
+	} {
+		for _, write := range []bool{false, true} {
+			op := "read"
+			if write {
+				op = "write"
+			}
+			for _, rec := range records {
+				total := int64(rec) * 32
+				n := NewNode(4, mode.opts, DefaultParams(), seed)
+				z := guest.NewIOzone(rec, write, total)
+				if _, err := n.NewVM("vm0", 1, z); err != nil {
+					panic(err)
+				}
+				start := n.Eng.Now()
+				end := n.RunUntilAllHalted(600 * sim.Second)
+				if z.Moved() < total {
+					panic(fmt.Sprintf("iozone stalled: %d/%d (%s %s %d)",
+						z.Moved(), total, mode.label, op, rec))
+				}
+				fig.Series(mode.label+" "+op).Add(float64(rec), z.Throughput(end.Sub(start)))
+			}
+		}
+	}
+	return fig
+}
+
+// RunFig10 reproduces the kernel-build figure: wall-clock build time
+// versus core count, with the build tree on a virtio disk. Core-gapped
+// CVMs run with one fewer vCPU (equal-physical-cores accounting).
+func RunFig10(coreCounts []int, jobs int, seed uint64) *trace.Figure {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{2, 4, 8, 16}
+	}
+	if jobs <= 0 {
+		jobs = 300
+	}
+	fig := trace.NewFigure("Figure 10", "Linux kernel build (virtio disk)",
+		"cores", "build time s")
+
+	for _, N := range coreCounts {
+		if N < 2 {
+			continue
+		}
+		for _, mode := range []struct {
+			label string
+			opts  Options
+			vcpus int
+		}{
+			{"shared-core", Baseline(), N},
+			{"core-gapped", GappedDefault(), N - 1},
+		} {
+			n := NewNode(N, mode.opts, DefaultParams(), seed)
+			kb := guest.NewKBuild(jobs, mode.vcpus, 250*sim.Millisecond, n.Eng.Source("kbuild"))
+			if _, err := n.NewVM("vm0", mode.vcpus, kb); err != nil {
+				panic(err)
+			}
+			end := n.RunUntilAllHalted(3600 * sim.Second)
+			if kb.Finished() < jobs {
+				panic(fmt.Sprintf("kbuild incomplete: %d/%d", kb.Finished(), jobs))
+			}
+			fig.Series(mode.label).Add(float64(N), sim.Duration(end).Seconds())
+		}
+	}
+	return fig
+}

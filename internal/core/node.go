@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"coregap/internal/gic"
+	"coregap/internal/granule"
+	"coregap/internal/host"
+	"coregap/internal/hw"
+	"coregap/internal/planner"
+	"coregap/internal/rmm"
+	"coregap/internal/sim"
+	"coregap/internal/trace"
+)
+
+// Mode selects how guests execute on a node.
+type Mode int
+
+// Execution modes.
+const (
+	// SharedCore is the paper's baseline: a traditional non-confidential
+	// VM whose vCPU threads time-share the host's cores under KVM, with
+	// exits handled on the same core (§5.1).
+	SharedCore Mode = iota
+	// Gapped is core-gapped confidential VMs: dedicated cores, cross-core
+	// RPC exits, and (per Options) delegated interrupt management.
+	Gapped
+)
+
+func (m Mode) String() string {
+	if m == Gapped {
+		return "core-gapped"
+	}
+	return "shared-core"
+}
+
+// Options configure a node's execution policy — the axes the paper's
+// evaluation sweeps.
+type Options struct {
+	Mode Mode
+	// DelegateTimer / DelegateVIPI: monitor-local interrupt emulation
+	// (§4.4); both true in the full design, both false in the Table 3/4
+	// "without delegation" ablation.
+	DelegateTimer bool
+	DelegateVIPI  bool
+	// BusyWaitRPC replaces IPI-notified asynchronous calls with
+	// Quarantine-style yield-polling vCPU threads (Fig. 6 cyan lines).
+	BusyWaitRPC bool
+	// ModelEncryption applies the 2-3% memory-encryption overhead to
+	// guest compute (off by default, matching the evaluation platform).
+	ModelEncryption bool
+	// PartitionLLC enables way-partitioning of the shared cache
+	// (recommended mitigation for the remaining cross-core channel).
+	PartitionLLC bool
+}
+
+// GappedDefault is the full core-gapping design.
+func GappedDefault() Options {
+	return Options{Mode: Gapped, DelegateTimer: true, DelegateVIPI: true}
+}
+
+// GappedNoDelegation is the Table 3/4 ablation.
+func GappedNoDelegation() Options { return Options{Mode: Gapped} }
+
+// GappedBusyWait is the Quarantine-style ablation of Fig. 6.
+func GappedBusyWait() Options {
+	return Options{Mode: Gapped, BusyWaitRPC: true}
+}
+
+// Baseline is the shared-core comparison system.
+func Baseline() Options { return Options{Mode: SharedCore} }
+
+// Node is one physical machine with its full software stack.
+type Node struct {
+	Eng  *sim.Engine
+	Mach *hw.Machine
+	Dist *gic.Distributor
+	Kern *host.Kernel
+	Mon  *rmm.Monitor
+	Plan *planner.Planner
+	Met  *trace.Set
+
+	P    Params
+	Opts Options
+
+	vms     []*VM
+	nextPA  granule.PA
+	tagSeed *sim.Source
+	// wakeups holds the per-host-core wake-up threads (Fig. 4).
+	wakeups map[hw.CoreID]*host.Thread
+}
+
+// NewNode builds a machine with the given core count and boots the stack.
+func NewNode(cores int, opts Options, p Params, seed uint64) *Node {
+	eng := sim.NewEngine(seed)
+	mach := hw.NewMachine(eng, hw.DefaultConfig(cores))
+	dist := gic.NewDistributor(mach)
+	met := trace.NewSet()
+	n := &Node{
+		Eng:     eng,
+		Mach:    mach,
+		Dist:    dist,
+		Kern:    host.NewKernel(mach, dist, met),
+		Met:     met,
+		P:       p,
+		Opts:    opts,
+		Plan:    planner.New(cores, 1),
+		tagSeed: eng.Source("core.tags"),
+	}
+	n.Mon = rmm.New(mach, rmm.Config{
+		CoreGapped:    opts.Mode == Gapped,
+		DelegateTimer: opts.DelegateTimer,
+		DelegateVIPI:  opts.DelegateVIPI,
+	}, met)
+	if opts.PartitionLLC {
+		mach.Shared().EnablePartitioning()
+	}
+	return n
+}
+
+// allocGranule delegates and returns a fresh physical granule, walking a
+// bump allocator across the machine's memory.
+func (n *Node) allocGranule() granule.PA {
+	pa := n.nextPA
+	n.nextPA += granule.Size
+	if err := n.Mach.GPT().Delegate(pa); err != nil {
+		panic(fmt.Sprintf("core: granule allocation failed: %v", err))
+	}
+	return pa
+}
+
+// VMs reports the node's guests.
+func (n *Node) VMs() []*VM { return n.vms }
+
+// RunUntilAllHalted drives the simulation until every vCPU of every VM
+// has halted, or maxSim elapses. It reports the halt time.
+func (n *Node) RunUntilAllHalted(maxSim sim.Duration) sim.Time {
+	deadline := n.Eng.Now().Add(maxSim)
+	for n.Eng.Now() < deadline {
+		if n.allHalted() {
+			return n.Eng.Now()
+		}
+		next := n.Eng.NextEventTime()
+		if next == sim.Forever || next > deadline {
+			break
+		}
+		n.Eng.Step()
+	}
+	return n.Eng.Now()
+}
+
+func (n *Node) allHalted() bool {
+	for _, vm := range n.vms {
+		for _, v := range vm.vcpus {
+			if !v.halted {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package gic
+
+import (
+	"coregap/internal/hw"
+	"coregap/internal/sim"
+)
+
+// VTimer is a guest vCPU's virtual timer (CNTV). The guest arms it by
+// writing the compare register — an operation that traps to whoever
+// virtualizes the timer: the host (baseline) or the RMM (delegated,
+// §4.4). When it expires, the virtual timer interrupt (PPI 27) must be
+// injected into the vCPU.
+type VTimer struct {
+	timer  *sim.Timer
+	onFire func()
+	armed  bool
+	// Ticks counts expirations, for the exit-accounting experiments.
+	ticks uint64
+}
+
+// NewVTimer returns a virtual timer that calls onFire on each expiry.
+func NewVTimer(eng *sim.Engine, label string, onFire func()) *VTimer {
+	vt := &VTimer{onFire: onFire}
+	vt.timer = sim.NewTimer(eng, label, func() {
+		vt.armed = false
+		vt.ticks++
+		vt.onFire()
+	})
+	return vt
+}
+
+// Arm sets the timer d into the future (CNTV_CVAL write).
+func (vt *VTimer) Arm(d sim.Duration) {
+	vt.armed = true
+	vt.timer.Arm(d)
+}
+
+// Disarm cancels the timer (CNTV_CTL disable).
+func (vt *VTimer) Disarm() {
+	vt.armed = false
+	vt.timer.Disarm()
+}
+
+// Armed reports whether the timer is pending.
+func (vt *VTimer) Armed() bool { return vt.armed }
+
+// Ticks reports total expirations.
+func (vt *VTimer) Ticks() uint64 { return vt.ticks }
+
+// Distributor routes shared peripheral interrupts (SPIs) to cores. The
+// host configures affinity; devices trigger interrupts.
+type Distributor struct {
+	mach    *hw.Machine
+	routes  map[hw.IRQ]hw.CoreID
+	enabled map[hw.IRQ]bool
+	// delivered counts per-IRQ deliveries.
+	delivered map[hw.IRQ]uint64
+}
+
+// NewDistributor returns a distributor with no routes.
+func NewDistributor(m *hw.Machine) *Distributor {
+	return &Distributor{
+		mach:      m,
+		routes:    make(map[hw.IRQ]hw.CoreID),
+		enabled:   make(map[hw.IRQ]bool),
+		delivered: make(map[hw.IRQ]uint64),
+	}
+}
+
+// Route sets the target core for an SPI and enables it.
+func (d *Distributor) Route(irq hw.IRQ, to hw.CoreID) {
+	d.routes[irq] = to
+	d.enabled[irq] = true
+}
+
+// Disable masks an SPI.
+func (d *Distributor) Disable(irq hw.IRQ) { d.enabled[irq] = false }
+
+// Target reports the configured target core (NoCore when unrouted).
+func (d *Distributor) Target(irq hw.IRQ) hw.CoreID {
+	if to, ok := d.routes[irq]; ok {
+		return to
+	}
+	return hw.NoCore
+}
+
+// Trigger fires an SPI from a device; it is delivered to the routed core
+// if enabled, and silently dropped otherwise (matching masked behaviour).
+func (d *Distributor) Trigger(irq hw.IRQ) {
+	if !d.enabled[irq] {
+		return
+	}
+	to, ok := d.routes[irq]
+	if !ok {
+		return
+	}
+	d.delivered[irq]++
+	d.mach.DeliverIRQ(to, irq)
+}
+
+// Delivered reports how many times irq has been delivered.
+func (d *Distributor) Delivered(irq hw.IRQ) uint64 { return d.delivered[irq] }
+
+// RetargetAll moves every SPI currently routed to "from" over to "to" —
+// the interrupt-migration step of the CPU hotplug path (§4.2).
+func (d *Distributor) RetargetAll(from, to hw.CoreID) int {
+	n := 0
+	for irq, core := range d.routes {
+		if core == from {
+			d.routes[irq] = to
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,195 @@
+package granule
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+const testMem = 64 << 20 // 64 MiB
+
+func TestDelegateLifecycle(t *testing.T) {
+	gpt := NewTable(testMem)
+	pa := PA(0x10000)
+
+	if err := gpt.Delegate(pa); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := gpt.State(pa); st != Delegated {
+		t.Fatalf("state = %v, want delegated", st)
+	}
+	if err := gpt.Delegate(pa); !errors.Is(err, ErrDoubleDelegate) {
+		t.Fatalf("double delegate: err = %v", err)
+	}
+	if err := gpt.Undelegate(pa); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := gpt.State(pa); st != Undelegated {
+		t.Fatalf("state = %v, want undelegated", st)
+	}
+}
+
+func TestAlignmentAndRange(t *testing.T) {
+	gpt := NewTable(testMem)
+	if err := gpt.Delegate(PA(123)); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("unaligned: %v", err)
+	}
+	if err := gpt.Delegate(PA(testMem)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if _, err := gpt.State(PA(testMem + Size)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("state out of range: %v", err)
+	}
+}
+
+func TestClaimRequiresDelegated(t *testing.T) {
+	gpt := NewTable(testMem)
+	pa := PA(0x20000)
+	if err := gpt.Claim(pa, Data, 1); !errors.Is(err, ErrBadState) {
+		t.Fatalf("claim undelegated: %v", err)
+	}
+	if err := gpt.Delegate(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := gpt.Claim(pa, Undelegated, 1); !errors.Is(err, ErrBadState) {
+		t.Fatalf("claim to invalid state: %v", err)
+	}
+	if err := gpt.Claim(pa, Data, 1); err != nil {
+		t.Fatal(err)
+	}
+	if owner, _ := gpt.Owner(pa); owner != 1 {
+		t.Fatalf("owner = %d, want 1", owner)
+	}
+}
+
+func TestUndelegateRequiresScrub(t *testing.T) {
+	gpt := NewTable(testMem)
+	pa := PA(0x30000)
+	must(t, gpt.Delegate(pa))
+	must(t, gpt.Claim(pa, Data, 1))
+	// Cannot undelegate while in Data state at all.
+	if err := gpt.Undelegate(pa); !errors.Is(err, ErrBadState) {
+		t.Fatalf("undelegate Data: %v", err)
+	}
+	// Release scrubs; then undelegation succeeds.
+	must(t, gpt.Release(pa, 1))
+	if err := gpt.Undelegate(pa); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWrongOwner(t *testing.T) {
+	gpt := NewTable(testMem)
+	pa := PA(0x40000)
+	must(t, gpt.Delegate(pa))
+	must(t, gpt.Claim(pa, REC, 7))
+	if err := gpt.Release(pa, 8); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("release by wrong owner: %v", err)
+	}
+	must(t, gpt.Release(pa, 7))
+}
+
+func TestAccessChecks(t *testing.T) {
+	gpt := NewTable(testMem)
+	pa := PA(0x50000)
+	if !gpt.HostAccessible(pa) {
+		t.Fatal("host must access undelegated memory")
+	}
+	must(t, gpt.Delegate(pa))
+	if gpt.HostAccessible(pa) {
+		t.Fatal("host must NOT access delegated memory")
+	}
+	// Unaligned inner address still checks the containing granule.
+	if gpt.HostAccessible(pa + 8) {
+		t.Fatal("host accessed interior of delegated granule")
+	}
+	must(t, gpt.Claim(pa, Data, 3))
+	if !gpt.RealmAccessible(pa+100, 3) {
+		t.Fatal("owner realm must access its data")
+	}
+	if gpt.RealmAccessible(pa, 4) {
+		t.Fatal("other realm must NOT access foreign data")
+	}
+	if !gpt.RealmAccessible(PA(0x60000), 3) {
+		t.Fatal("realm must access shared (undelegated) memory")
+	}
+}
+
+func TestCountsConsistent(t *testing.T) {
+	gpt := NewTable(testMem)
+	total := gpt.Granules()
+	for i := 0; i < 100; i++ {
+		must(t, gpt.Delegate(PA(i*Size)))
+	}
+	for i := 0; i < 40; i++ {
+		must(t, gpt.Claim(PA(i*Size), Data, 1))
+	}
+	if gpt.CountIn(Undelegated) != total-100 || gpt.CountIn(Delegated) != 60 || gpt.CountIn(Data) != 40 {
+		t.Fatalf("counts = %d/%d/%d", gpt.CountIn(Undelegated), gpt.CountIn(Delegated), gpt.CountIn(Data))
+	}
+	var sum uint64
+	for s := Undelegated; s <= Data; s++ {
+		sum += gpt.CountIn(s)
+	}
+	if sum != total {
+		t.Fatalf("state counts sum %d != total %d", sum, total)
+	}
+}
+
+func TestGranuleStateMachineProperty(t *testing.T) {
+	// Property: no sequence of host-requested operations can make a
+	// granule simultaneously host-accessible and realm-data, and counts
+	// always sum to the total.
+	f := func(ops []uint8) bool {
+		gpt := NewTable(1 << 20)
+		n := gpt.Granules()
+		for _, op := range ops {
+			pa := PA((uint64(op) % n) * Size)
+			switch op % 5 {
+			case 0:
+				gpt.Delegate(pa)
+			case 1:
+				gpt.Undelegate(pa)
+			case 2:
+				gpt.Claim(pa, Data, 1)
+			case 3:
+				gpt.Claim(pa, REC, 2)
+			case 4:
+				gpt.Release(pa, 1)
+			}
+			st, err := gpt.State(pa)
+			if err != nil {
+				return false
+			}
+			if st == Data && gpt.HostAccessible(pa) {
+				return false
+			}
+		}
+		var sum uint64
+		for s := Undelegated; s <= Data; s++ {
+			sum += gpt.CountIn(s)
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Undelegated: "undelegated", Delegated: "delegated", RD: "rd",
+		REC: "rec", RTT: "rtt", Data: "data",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

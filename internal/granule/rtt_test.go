@@ -1,0 +1,245 @@
+package granule
+
+import (
+	"errors"
+	"testing"
+)
+
+// newTreeForTest builds a GPT + tree with the root RTT granule claimed.
+func newTreeForTest(t *testing.T) (*Table, *Tree, func() PA) {
+	t.Helper()
+	gpt := NewTable(256 << 20)
+	next := PA(0)
+	alloc := func() PA {
+		pa := next
+		next += Size
+		if err := gpt.Delegate(pa); err != nil {
+			t.Fatal(err)
+		}
+		return pa
+	}
+	root := alloc()
+	if err := gpt.Claim(root, RTT, 1); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewTree(1, gpt, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gpt, tree, alloc
+}
+
+// buildTables creates the level 1..3 intermediate tables covering ipa.
+func buildTables(t *testing.T, tree *Tree, alloc func() PA, ipa IPA) {
+	t.Helper()
+	for level := 1; level <= 3; level++ {
+		if err := tree.CreateTable(ipa, level, alloc()); err != nil && !errors.Is(err, ErrTableExists) {
+			t.Fatalf("level %d: %v", level, err)
+		}
+	}
+}
+
+func TestNewTreeRequiresRTTGranule(t *testing.T) {
+	gpt := NewTable(1 << 20)
+	if _, err := NewTree(1, gpt, PA(0)); !errors.Is(err, ErrBadState) {
+		t.Fatalf("NewTree on undelegated root: %v", err)
+	}
+}
+
+func TestMapTranslateUnmap(t *testing.T) {
+	gpt, tree, alloc := newTreeForTest(t)
+	ipa := IPA(0x8000_0000)
+	buildTables(t, tree, alloc, ipa)
+
+	data := alloc()
+	if err := tree.MapProtected(ipa, data); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Mapped() != 1 {
+		t.Fatalf("mapped = %d", tree.Mapped())
+	}
+	if st, _ := gpt.State(data); st != Data {
+		t.Fatalf("data granule state = %v", st)
+	}
+
+	pa, prot, err := tree.Translate(ipa + 0x123)
+	if err != nil || !prot || pa != data+0x123 {
+		t.Fatalf("translate = %v,%v,%v", pa, prot, err)
+	}
+
+	if err := tree.Unmap(ipa); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Mapped() != 0 {
+		t.Fatalf("mapped after unmap = %d", tree.Mapped())
+	}
+	if st, _ := gpt.State(data); st != Delegated {
+		t.Fatalf("released granule state = %v", st)
+	}
+	if st, _ := tree.EntryStateAt(ipa); st != Destroyed {
+		t.Fatalf("entry state = %v, want destroyed", st)
+	}
+	// Destroyed entries cannot be silently remapped (no replay).
+	if err := tree.MapProtected(ipa, alloc()); !errors.Is(err, ErrEntryState) {
+		t.Fatalf("remap of destroyed entry: %v", err)
+	}
+}
+
+func TestTranslateFaults(t *testing.T) {
+	_, tree, alloc := newTreeForTest(t)
+	ipa := IPA(0x4000_0000)
+	if _, _, err := tree.Translate(ipa); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("missing tables: %v", err)
+	}
+	buildTables(t, tree, alloc, ipa)
+	if _, _, err := tree.Translate(ipa); !errors.Is(err, ErrEntryState) {
+		t.Fatalf("unassigned entry: %v", err)
+	}
+}
+
+func TestMapSharedKeepsHostOwnership(t *testing.T) {
+	gpt, tree, alloc := newTreeForTest(t)
+	ipa := IPA(0xC000_0000)
+	buildTables(t, tree, alloc, ipa)
+
+	sharedPA := PA(128 << 20) // never delegated
+	if err := tree.MapShared(ipa, sharedPA); err != nil {
+		t.Fatal(err)
+	}
+	pa, prot, err := tree.Translate(ipa)
+	if err != nil || prot || pa != sharedPA {
+		t.Fatalf("shared translate = %v,%v,%v", pa, prot, err)
+	}
+	if !gpt.HostAccessible(sharedPA) {
+		t.Fatal("shared memory must remain host accessible")
+	}
+	// A delegated granule cannot be mapped as shared.
+	d := alloc()
+	if err := tree.MapShared(ipa+Size, d); !errors.Is(err, ErrNoTable) && !errors.Is(err, ErrBadState) {
+		// ipa+Size shares the level-3 table, so the walk succeeds and
+		// the GPT check must reject the delegated granule.
+		t.Fatalf("shared map of delegated granule: %v", err)
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	_, tree, alloc := newTreeForTest(t)
+	ipa := IPA(0x1000_0000)
+	if err := tree.CreateTable(ipa, 0, alloc()); !errors.Is(err, ErrLevel) {
+		t.Fatalf("level 0: %v", err)
+	}
+	if err := tree.CreateTable(ipa, 4, alloc()); !errors.Is(err, ErrLevel) {
+		t.Fatalf("level 4: %v", err)
+	}
+	// Level 2 before level 1: walk fails.
+	if err := tree.CreateTable(ipa, 2, alloc()); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("level skip: %v", err)
+	}
+	if err := tree.CreateTable(ipa, 1, alloc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CreateTable(ipa, 1, alloc()); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("duplicate table: %v", err)
+	}
+	// Table granule must be delegated first.
+	if err := tree.CreateTable(ipa, 2, PA(200<<20)); !errors.Is(err, ErrBadState) {
+		t.Fatalf("undelegated table granule: %v", err)
+	}
+}
+
+func TestDestroyTableRequiresEmpty(t *testing.T) {
+	gpt, tree, alloc := newTreeForTest(t)
+	ipa := IPA(0x2000_0000)
+	buildTables(t, tree, alloc, ipa)
+	data := alloc()
+	if err := tree.MapProtected(ipa, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.DestroyTable(ipa, 3); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("destroy non-empty: %v", err)
+	}
+	if err := tree.Unmap(ipa); err != nil {
+		t.Fatal(err)
+	}
+	// Note: a Destroyed leaf does not keep the table "live".
+	if err := tree.DestroyTable(ipa, 3); err != nil {
+		t.Fatalf("destroy empty: %v", err)
+	}
+	// Its granule is released back to Delegated.
+	if got := gpt.CountIn(RTT); got != 3 { // root + L1 + L2 remain
+		t.Fatalf("RTT granules = %d, want 3", got)
+	}
+	if err := tree.DestroyTable(ipa, 3); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("double destroy: %v", err)
+	}
+}
+
+func TestDistinctIPAsDistinctEntries(t *testing.T) {
+	_, tree, alloc := newTreeForTest(t)
+	base := IPA(0x8000_0000)
+	buildTables(t, tree, alloc, base)
+	for i := 0; i < 8; i++ {
+		ipa := base + IPA(i*Size)
+		if err := tree.MapProtected(ipa, alloc()); err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+	}
+	if tree.Mapped() != 8 {
+		t.Fatalf("mapped = %d, want 8", tree.Mapped())
+	}
+	seen := map[PA]bool{}
+	for i := 0; i < 8; i++ {
+		pa, _, err := tree.Translate(base + IPA(i*Size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[pa] {
+			t.Fatalf("aliased PAs at entry %d", i)
+		}
+		seen[pa] = true
+	}
+}
+
+func TestNoCrossRealmAliasing(t *testing.T) {
+	// Two realms can never map the same protected granule: the GPT
+	// claim for the second realm fails because the granule left the
+	// Delegated state when the first realm claimed it.
+	gpt := NewTable(64 << 20)
+	allocAt := func(pa PA) PA {
+		if err := gpt.Delegate(pa); err != nil {
+			t.Fatal(err)
+		}
+		return pa
+	}
+	mkTree := func(r RealmID, rootPA PA) *Tree {
+		allocAt(rootPA)
+		if err := gpt.Claim(rootPA, RTT, r); err != nil {
+			t.Fatal(err)
+		}
+		tree, err := NewTree(r, gpt, rootPA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+	t1 := mkTree(1, PA(0))
+	t2 := mkTree(2, PA(Size))
+	next := PA(10 * Size)
+	alloc := func() PA { pa := next; next += Size; return allocAt(pa) }
+	ipa := IPA(0x8000_0000)
+	for level := 1; level <= 3; level++ {
+		if err := t1.CreateTable(ipa, level, alloc()); err != nil {
+			t.Fatal(err)
+		}
+		if err := t2.CreateTable(ipa, level, alloc()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := alloc()
+	if err := t1.MapProtected(ipa, victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.MapProtected(ipa, victim); err == nil {
+		t.Fatal("second realm mapped a granule already owned by the first")
+	}
+}

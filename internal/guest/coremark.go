@@ -1,0 +1,84 @@
+package guest
+
+import (
+	"coregap/internal/sim"
+)
+
+// CoreMark models CoreMark-PRO (§5.2): a CPU-intensive, embarrassingly
+// parallel benchmark. Each vCPU grinds through a fixed amount of work in
+// chunks; the score is work completed per second of wall time, so host
+// interference, exit costs, and cold-cache restarts all show up directly.
+//
+// The chunk size is the natural granularity at which the benchmark's
+// worker loop checks for completion; it has no effect on results beyond
+// bounding event counts, since interrupts preempt chunks anyway.
+type CoreMark struct {
+	vcpus     int
+	workPer   sim.Duration
+	chunk     sim.Duration
+	remaining []sim.Duration
+	completed []sim.Duration
+}
+
+// NewCoreMark builds a CoreMark instance for the given vCPU count where
+// each vCPU must complete workPerVCPU of compute.
+func NewCoreMark(vcpus int, workPerVCPU sim.Duration) *CoreMark {
+	c := &CoreMark{
+		vcpus:     vcpus,
+		workPer:   workPerVCPU,
+		chunk:     500 * sim.Microsecond,
+		remaining: make([]sim.Duration, vcpus),
+		completed: make([]sim.Duration, vcpus),
+	}
+	for i := range c.remaining {
+		c.remaining[i] = workPerVCPU
+	}
+	return c
+}
+
+// Next implements Program.
+func (c *CoreMark) Next(vcpu int) Action {
+	rem := c.remaining[vcpu]
+	if rem <= 0 {
+		return Halt()
+	}
+	w := c.chunk
+	if w > rem {
+		w = rem
+	}
+	c.remaining[vcpu] -= w
+	c.completed[vcpu] += w
+	return ComputeFor(w)
+}
+
+// Deliver implements Program; CoreMark ignores events (timer ticks are
+// environment-level).
+func (c *CoreMark) Deliver(int, Event) {}
+
+// Done reports whether every vCPU has finished its work.
+func (c *CoreMark) Done() bool {
+	for _, r := range c.remaining {
+		if r > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalWork reports the aggregate work assigned.
+func (c *CoreMark) TotalWork() sim.Duration {
+	return c.workPer * sim.Duration(c.vcpus)
+}
+
+// Score reports completed work-seconds per second of elapsed time — the
+// aggregate throughput figure plotted in Figs. 6 and 7.
+func (c *CoreMark) Score(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var done sim.Duration
+	for i := range c.completed {
+		done += c.completed[i]
+	}
+	return done.Seconds() / elapsed.Seconds()
+}

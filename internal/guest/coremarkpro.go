@@ -1,0 +1,168 @@
+package guest
+
+import (
+	"math"
+
+	"coregap/internal/sim"
+)
+
+// Workload is one CoreMark-PRO sub-benchmark. The real suite [19] mixes
+// integer and floating-point kernels with very different working sets;
+// what matters to the reproduction is the *footprint* axis, because
+// host interference on shared cores costs a workload in proportion to
+// the state it must re-warm (§2.3).
+type Workload struct {
+	Name      string
+	Weight    float64 // share of total work
+	Footprint float64 // fraction of per-core cache/TLB state it occupies
+}
+
+// ProWorkloads is the CoreMark-PRO v1.1 suite: five integer and four
+// floating-point kernels.
+func ProWorkloads() []Workload {
+	return []Workload{
+		{"cjpeg-rose7-preset", 0.12, 0.45}, // image compression: medium WSS
+		{"core", 0.10, 0.10},               // original CoreMark: tiny WSS
+		{"linear_alg-mid-100x100-sp", 0.12, 0.55},
+		{"loops-all-mid-10k-sp", 0.12, 0.60},
+		{"nnet_test", 0.13, 0.80}, // neural net: large working set
+		{"parser-125k", 0.10, 0.50},
+		{"radix2-big-64k", 0.12, 0.75}, // FFT: strided, cache-hungry
+		{"sha-test", 0.09, 0.15},       // hashing: compute-bound
+		{"zip-test", 0.10, 0.40},
+	}
+}
+
+// CoreMarkPro runs the suite phase by phase: all vCPUs grind through
+// workload i's shared work pool, then move to i+1 together — matching
+// how the real harness runs contexts and computes a per-workload
+// MultiCore score before folding them into one mark.
+type CoreMarkPro struct {
+	workloads []Workload
+	vcpus     int
+	chunk     sim.Duration
+	now       func() sim.Time
+
+	phase     int
+	remaining sim.Duration // pool left in the current phase
+	// outstanding marks vCPUs whose last-issued chunk has not completed
+	// (Next is called exactly when the previous action finishes).
+	outstanding []bool
+
+	phaseStart sim.Time
+	durations  []sim.Duration
+	totalWork  []sim.Duration
+}
+
+// NewCoreMarkPro builds the suite with totalWork spread over the
+// workloads by weight; now provides simulation timestamps for phase
+// accounting (pass eng.Now).
+func NewCoreMarkPro(vcpus int, totalWork sim.Duration, now func() sim.Time) *CoreMarkPro {
+	ws := ProWorkloads()
+	c := &CoreMarkPro{
+		workloads:   ws,
+		vcpus:       vcpus,
+		chunk:       500 * sim.Microsecond,
+		now:         now,
+		outstanding: make([]bool, vcpus),
+		durations:   make([]sim.Duration, len(ws)),
+		totalWork:   make([]sim.Duration, len(ws)),
+	}
+	for i, w := range ws {
+		c.totalWork[i] = sim.Duration(float64(totalWork) * w.Weight)
+	}
+	c.remaining = c.totalWork[0]
+	c.phaseStart = now()
+	return c
+}
+
+// Next implements Program.
+func (c *CoreMarkPro) Next(vcpu int) Action {
+	c.outstanding[vcpu] = false // the previous chunk just completed
+	for {
+		if c.phase >= len(c.workloads) {
+			return Halt()
+		}
+		if c.remaining > 0 {
+			w := c.chunk
+			if w > c.remaining {
+				w = c.remaining
+			}
+			c.remaining -= w
+			c.outstanding[vcpu] = true
+			return ComputeFor(w)
+		}
+		// Pool drained: wait at the phase barrier until every sibling's
+		// last chunk completes (barrier waiters are re-evaluated on the
+		// periodic timer wake-up).
+		if c.anyOutstanding() {
+			return WFI()
+		}
+		// Last one out closes the phase.
+		c.durations[c.phase] = c.now().Sub(c.phaseStart)
+		c.phase++
+		c.phaseStart = c.now()
+		if c.phase < len(c.workloads) {
+			c.remaining = c.totalWork[c.phase]
+		}
+	}
+}
+
+func (c *CoreMarkPro) anyOutstanding() bool {
+	for _, b := range c.outstanding {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Deliver implements Program; the timer tick that wakes barrier waiters
+// needs no bookkeeping here.
+func (c *CoreMarkPro) Deliver(int, Event) {}
+
+// Footprint implements the optional footprint reporter: the current
+// workload's working-set size drives interference costs.
+func (c *CoreMarkPro) Footprint(vcpu int) float64 {
+	i := c.phase
+	if i >= len(c.workloads) {
+		i = len(c.workloads) - 1
+	}
+	return c.workloads[i].Footprint
+}
+
+// Done reports whether the whole suite has completed.
+func (c *CoreMarkPro) Done() bool { return c.phase >= len(c.workloads) }
+
+// PhaseScores reports each workload's throughput (work-seconds/second,
+// i.e. effective cores during its phase).
+func (c *CoreMarkPro) PhaseScores() map[string]float64 {
+	out := make(map[string]float64, len(c.workloads))
+	for i, w := range c.workloads {
+		if c.durations[i] > 0 {
+			out[w.Name] = c.totalWork[i].Seconds() / c.durations[i].Seconds()
+		}
+	}
+	return out
+}
+
+// Mark reports the suite's single figure of merit: the geometric mean of
+// the per-workload scores (as CoreMark-PRO folds its workloads).
+func (c *CoreMarkPro) Mark() float64 {
+	scores := c.PhaseScores()
+	if len(scores) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	n := 0
+	for _, s := range scores {
+		if s > 0 {
+			logSum += math.Log(s)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,141 @@
+package guest
+
+import (
+	"testing"
+
+	"coregap/internal/sim"
+)
+
+// driveCMP simulates an idealised environment: vCPUs consume chunks in
+// lockstep, time advances by chunk duration per round.
+func driveCMP(t *testing.T, c *CoreMarkPro, vcpus int, clock *sim.Time) {
+	t.Helper()
+	halted := make([]bool, vcpus)
+	allHalted := func() bool {
+		for _, h := range halted {
+			if !h {
+				return false
+			}
+		}
+		return true
+	}
+	for rounds := 0; !allHalted(); rounds++ {
+		if rounds > 1_000_000 {
+			t.Fatal("suite did not terminate")
+		}
+		var advance sim.Duration
+		for v := 0; v < vcpus; v++ {
+			if halted[v] {
+				continue
+			}
+			switch a := c.Next(v); a.Kind {
+			case ActCompute:
+				if a.Work > advance {
+					advance = a.Work
+				}
+			case ActWFI:
+				// barrier wait; re-polled next round
+			case ActHalt:
+				halted[v] = true
+			default:
+				t.Fatalf("unexpected action %v", a.Kind)
+			}
+		}
+		if advance == 0 {
+			advance = 100 * sim.Microsecond // barrier polling interval
+		}
+		*clock = clock.Add(advance)
+	}
+}
+
+func TestCoreMarkProCompletesAllPhases(t *testing.T) {
+	var clock sim.Time
+	c := NewCoreMarkPro(4, 100*sim.Millisecond, func() sim.Time { return clock })
+	driveCMP(t, c, 4, &clock)
+	if !c.Done() {
+		t.Fatal("not done")
+	}
+	scores := c.PhaseScores()
+	if len(scores) != len(ProWorkloads()) {
+		t.Fatalf("scores for %d workloads, want %d", len(scores), len(ProWorkloads()))
+	}
+	for name, s := range scores {
+		// Idealised lockstep execution: close to 4 effective cores,
+		// minus barrier rounding.
+		if s < 2.0 || s > 4.01 {
+			t.Errorf("%s score = %.2f, want ~4", name, s)
+		}
+	}
+	if m := c.Mark(); m < 2.0 || m > 4.01 {
+		t.Fatalf("mark = %.2f", m)
+	}
+}
+
+func TestCoreMarkProWorkConservation(t *testing.T) {
+	var clock sim.Time
+	total := 90 * sim.Millisecond
+	c := NewCoreMarkPro(3, total, func() sim.Time { return clock })
+	var issued sim.Duration
+	halted := make([]bool, 3)
+	for rounds := 0; rounds < 1_000_000; rounds++ {
+		live := false
+		for v := 0; v < 3; v++ {
+			if halted[v] {
+				continue
+			}
+			live = true
+			switch a := c.Next(v); a.Kind {
+			case ActCompute:
+				issued += a.Work
+			case ActHalt:
+				halted[v] = true
+			}
+		}
+		clock = clock.Add(sim.Millisecond)
+		if !live {
+			break
+		}
+	}
+	// Weights sum to 1.0: all work is issued exactly once.
+	if issued < total*99/100 || issued > total {
+		t.Fatalf("issued %v of %v", issued, total)
+	}
+}
+
+func TestCoreMarkProFootprintTracksPhase(t *testing.T) {
+	var clock sim.Time
+	c := NewCoreMarkPro(1, 9*sim.Millisecond, func() sim.Time { return clock })
+	seen := map[float64]bool{}
+	for i := 0; i < 1_000_000 && !c.Done(); i++ {
+		a := c.Next(0)
+		if a.Kind == ActHalt {
+			break
+		}
+		seen[c.Footprint(0)] = true
+		clock = clock.Add(a.Work)
+	}
+	// Distinct footprints were exposed as phases progressed.
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct footprints observed", len(seen))
+	}
+	// Post-completion footprint stays in range.
+	if f := c.Footprint(0); f <= 0 || f > 1 {
+		t.Fatalf("footprint = %v", f)
+	}
+}
+
+func TestProWorkloadsWellFormed(t *testing.T) {
+	var weight float64
+	for _, w := range ProWorkloads() {
+		if w.Name == "" || w.Weight <= 0 || w.Footprint <= 0 || w.Footprint > 1 {
+			t.Fatalf("malformed workload %+v", w)
+		}
+		weight += w.Weight
+	}
+	if weight < 0.999 || weight > 1.001 {
+		t.Fatalf("weights sum to %v, want 1", weight)
+	}
+	if len(ProWorkloads()) != 9 {
+		t.Fatal("CoreMark-PRO has 9 workloads")
+	}
+}

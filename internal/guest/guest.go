@@ -1,0 +1,141 @@
+// Package guest models the workloads the paper evaluates as programs run
+// by virtual CPUs. A program is a deterministic state machine producing
+// actions (compute, I/O, virtual IPIs, wait-for-interrupt); the execution
+// environment (KVM for shared-core VMs, the RMM for core-gapped CVMs)
+// interprets the actions and delivers events back.
+//
+// What matters for reproduction is each workload's *interaction profile* —
+// how much it computes between device interactions, how often it takes
+// interrupts, how much data it moves — because those are what determine
+// VM-exit rates and therefore the performance difference between
+// shared-core and core-gapped execution.
+package guest
+
+import (
+	"fmt"
+
+	"coregap/internal/sim"
+)
+
+// DeviceClass identifies the I/O device a request targets.
+type DeviceClass int
+
+// Device classes used by the workloads (§5.1, §5.3).
+const (
+	VirtioNet DeviceClass = iota
+	VirtioBlk
+	SRIOVNet // VF pass-through: data path bypasses the host
+)
+
+func (d DeviceClass) String() string {
+	switch d {
+	case VirtioNet:
+		return "virtio-net"
+	case VirtioBlk:
+		return "virtio-blk"
+	case SRIOVNet:
+		return "sriov-net"
+	default:
+		return fmt.Sprintf("dev(%d)", int(d))
+	}
+}
+
+// ActionKind discriminates Action.
+type ActionKind int
+
+// Action kinds.
+const (
+	// ActCompute executes Work nanoseconds of guest CPU work.
+	ActCompute ActionKind = iota
+	// ActIO submits an I/O request (doorbell write; see IORequest.Sync).
+	ActIO
+	// ActVIPI sends a virtual IPI to another vCPU of the same VM
+	// (an ICC_SGI1R_EL1 write, which traps — §4.4, Table 3).
+	ActVIPI
+	// ActWFI idles until the next event is delivered.
+	ActWFI
+	// ActHalt terminates the vCPU.
+	ActHalt
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActCompute:
+		return "compute"
+	case ActIO:
+		return "io"
+	case ActVIPI:
+		return "vipi"
+	case ActWFI:
+		return "wfi"
+	case ActHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}
+
+// IORequest describes one device interaction.
+type IORequest struct {
+	Dev   DeviceClass
+	Bytes int
+	Write bool
+	// Sync blocks the vCPU until completion (O_DIRECT block I/O, or a
+	// blocking receive). Async requests post the doorbell and continue.
+	Sync bool
+	// Tag flows through to the completion event.
+	Tag int
+}
+
+// Action is one step of a program.
+type Action struct {
+	Kind   ActionKind
+	Work   sim.Duration // ActCompute
+	Req    IORequest    // ActIO
+	Target int          // ActVIPI: destination vCPU index
+}
+
+// EventKind discriminates events delivered to a program.
+type EventKind int
+
+// Events.
+const (
+	// EvIOComplete: a previously submitted request finished.
+	EvIOComplete EventKind = iota
+	// EvPacket: the network peer delivered data to the guest.
+	EvPacket
+	// EvVIPI: another vCPU sent this one a virtual IPI.
+	EvVIPI
+	// EvTimer: the guest's periodic tick fired (informational; tick
+	// handling cost is modelled by the environment).
+	EvTimer
+)
+
+// Event is an asynchronous notification to a program.
+type Event struct {
+	Kind  EventKind
+	Dev   DeviceClass
+	Bytes int
+	Tag   int
+	From  int // EvVIPI: sender vCPU
+}
+
+// Program produces the action stream for each vCPU of a VM.
+//
+// Next is called whenever vCPU i is ready for its next action: initially,
+// after a compute or synchronous I/O completes, and after an event ends a
+// WFI. Deliver is called for asynchronous events regardless of state;
+// programs typically record them and react on the following Next.
+type Program interface {
+	Next(vcpu int) Action
+	Deliver(vcpu int, ev Event)
+}
+
+// Halt is a convenience halted action.
+func Halt() Action { return Action{Kind: ActHalt} }
+
+// ComputeFor is a convenience compute action.
+func ComputeFor(d sim.Duration) Action { return Action{Kind: ActCompute, Work: d} }
+
+// WFI is a convenience wait action.
+func WFI() Action { return Action{Kind: ActWFI} }

@@ -1,0 +1,84 @@
+package guest
+
+import (
+	"coregap/internal/sim"
+)
+
+// IPIBench is the virtual-IPI microbenchmark of Table 3: vCPU 0 sends a
+// virtual IPI to vCPU 1 and waits; vCPU 1 acknowledges (a write to shared
+// guest memory, modelled as a short compute) and replies with its own
+// IPI. The environment timestamps sends and acknowledgements; the
+// reported figure is the one-way deliver-and-acknowledge latency.
+type IPIBench struct {
+	rounds int
+	done   int
+
+	state   []ipiState
+	ackWork sim.Duration
+}
+
+type ipiState int
+
+const (
+	ipiIdle ipiState = iota
+	ipiWaiting
+	ipiGotIPI
+	ipiDone
+)
+
+// NewIPIBench builds the two-vCPU benchmark for the given round count.
+func NewIPIBench(rounds int) *IPIBench {
+	return &IPIBench{
+		rounds:  rounds,
+		state:   make([]ipiState, 2),
+		ackWork: 300 * sim.Nanosecond,
+	}
+}
+
+// Next implements Program.
+func (b *IPIBench) Next(vcpu int) Action {
+	if vcpu == 0 {
+		switch b.state[0] {
+		case ipiIdle:
+			if b.done >= b.rounds {
+				return Halt()
+			}
+			b.state[0] = ipiWaiting
+			return Action{Kind: ActVIPI, Target: 1}
+		case ipiGotIPI:
+			// Reply received: round complete.
+			b.state[0] = ipiIdle
+			b.done++
+			return ComputeFor(b.ackWork)
+		default:
+			return WFI()
+		}
+	}
+	// vCPU 1: acknowledge then reply.
+	switch b.state[1] {
+	case ipiGotIPI:
+		b.state[1] = ipiDone
+		return ComputeFor(b.ackWork) // write ack to shared memory
+	case ipiDone:
+		b.state[1] = ipiIdle
+		if b.done >= b.rounds-1 && b.state[0] != ipiWaiting {
+			return Halt()
+		}
+		return Action{Kind: ActVIPI, Target: 0}
+	default:
+		if b.done >= b.rounds {
+			return Halt()
+		}
+		return WFI()
+	}
+}
+
+// Deliver implements Program.
+func (b *IPIBench) Deliver(vcpu int, ev Event) {
+	if ev.Kind == EvVIPI {
+		b.state[vcpu] = ipiGotIPI
+	}
+}
+
+// Rounds reports completed round trips.
+func (b *IPIBench) Rounds() int { return b.done }

@@ -1,0 +1,73 @@
+package guest
+
+import (
+	"coregap/internal/sim"
+)
+
+// KBuild models a parallel kernel build (§5.4, Fig. 10): a pool of
+// compilation jobs executed by N worker vCPUs. Each job reads sources
+// from the virtio disk, compiles (compute), and writes the object back.
+// The virtio disk dependence is what puts core gapping at a disadvantage
+// here (contention for I/O emulation on the single host core), which is
+// exactly the effect Fig. 10 probes.
+type KBuild struct {
+	jobs      int
+	started   int
+	finished  int
+	compile   sim.Duration // mean compile time per job
+	readSize  int
+	writeSize int
+	src       *sim.Source
+
+	// per-vCPU stage: 0=claim+read, 1=compile, 2=write, 3=idle
+	stage []int
+}
+
+// NewKBuild builds a job pool: jobs translation units compiled by up to
+// vcpus workers. Compile times are exponentially distributed around mean
+// (real TU compile times are heavy-tailed).
+func NewKBuild(jobs, vcpus int, mean sim.Duration, src *sim.Source) *KBuild {
+	return &KBuild{
+		jobs:      jobs,
+		compile:   mean,
+		readSize:  64 << 10, // headers + sources actually read per TU
+		writeSize: 48 << 10, // object file
+		src:       src,
+		stage:     make([]int, vcpus),
+	}
+}
+
+// Next implements Program.
+func (k *KBuild) Next(vcpu int) Action {
+	switch k.stage[vcpu] {
+	case 0:
+		if k.started >= k.jobs {
+			return Halt()
+		}
+		k.started++
+		k.stage[vcpu] = 1
+		return Action{Kind: ActIO, Req: IORequest{
+			Dev: VirtioBlk, Bytes: k.readSize, Write: false, Sync: true,
+		}}
+	case 1:
+		k.stage[vcpu] = 2
+		return ComputeFor(k.src.Exp(k.compile))
+	case 2:
+		k.stage[vcpu] = 0
+		k.finished++
+		return Action{Kind: ActIO, Req: IORequest{
+			Dev: VirtioBlk, Bytes: k.writeSize, Write: true, Sync: true,
+		}}
+	default:
+		return Halt()
+	}
+}
+
+// Deliver implements Program.
+func (k *KBuild) Deliver(int, Event) {}
+
+// Finished reports completed jobs.
+func (k *KBuild) Finished() int { return k.finished }
+
+// Jobs reports the configured job count.
+func (k *KBuild) Jobs() int { return k.jobs }

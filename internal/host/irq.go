@@ -1,0 +1,93 @@
+package host
+
+import (
+	"fmt"
+
+	"coregap/internal/hw"
+	"coregap/internal/sim"
+)
+
+// RegisterIRQ installs a kernel-level handler for an interrupt. The
+// handler runs in IRQ context on the receiving core (stealing CPU from
+// whatever thread is running there), like a Linux hardirq handler.
+func (k *Kernel) RegisterIRQ(irq hw.IRQ, fn func(core hw.CoreID)) {
+	k.irqHandlers[irq] = fn
+}
+
+// handleIRQ is the per-core interrupt entry point.
+func (k *Kernel) handleIRQ(core hw.CoreID, from hw.CoreID, irq hw.IRQ) {
+	cs, ok := k.cores[core]
+	if !ok || cs.offline {
+		// Interrupt raced with hotplug: hardware re-routes in practice;
+		// we deliver to the lowest online core.
+		for _, c := range k.mach.Cores() {
+			if s, ok := k.cores[c.ID()]; ok && !s.offline {
+				k.handleIRQ(c.ID(), from, irq)
+				return
+			}
+		}
+		return
+	}
+	if k.met != nil {
+		k.met.Counter("host.irqs").Inc()
+	}
+	fn := k.irqHandlers[irq]
+	if fn == nil {
+		return
+	}
+	k.StealCPU(core, k.irqCost, func() { fn(core) })
+}
+
+// StealCPU runs fn after cost of IRQ-context work on the given core,
+// preempting (and then resuming) the current thread. This models hardirq
+// processing: it charges the time to the core but not to any thread.
+func (k *Kernel) StealCPU(core hw.CoreID, cost sim.Duration, fn func()) {
+	cs, ok := k.cores[core]
+	if !ok {
+		panic(fmt.Sprintf("host: StealCPU on unmanaged core %d", core))
+	}
+	exec := k.mach.Core(core).Exec
+
+	if cs.stealing {
+		// Nested IRQ: serialize after the current steal by deferring a
+		// tiny amount; the handler chain remains deterministic.
+		k.eng.After(cost, "irq:nested", func() {
+			if fn != nil {
+				fn()
+			}
+		})
+		return
+	}
+
+	var resume func()
+	if cs.cur != nil {
+		t := cs.cur
+		t.rem = exec.Preempt()
+		t.cpuTime += k.eng.Now().Sub(t.sliceStart)
+		cs.stealing = true
+		resume = func() {
+			cs.stealing = false
+			// Resume the interrupted thread directly: it never left
+			// cs.cur, so just restart its executor slice.
+			if cs.cur == t && t.state == Running && t.cur != nil {
+				k.startCurrent(cs)
+			} else {
+				cs.cur = nil
+				k.dispatch(cs)
+			}
+		}
+	} else {
+		cs.stealing = true
+		resume = func() {
+			cs.stealing = false
+			k.dispatch(cs)
+		}
+	}
+
+	k.eng.After(cost, fmt.Sprintf("irq@%d", core), func() {
+		if fn != nil {
+			fn()
+		}
+		resume()
+	})
+}

@@ -1,0 +1,150 @@
+package hw
+
+import (
+	"fmt"
+
+	"coregap/internal/sim"
+)
+
+// Executor runs at most one compute context on a core at a time, with
+// preemption. Work is measured in nanoseconds of full-speed execution;
+// the owner may run it at a reduced speed factor to model cold
+// microarchitectural state after interference.
+//
+// The executor is mechanism only: host scheduler and RMM decide what runs
+// and at which speed.
+type Executor struct {
+	eng  *sim.Engine
+	core *Core
+
+	running   bool
+	label     string
+	remaining sim.Duration
+	speed     float64
+	startedAt sim.Time
+	ev        *sim.Event
+	onDone    func()
+
+	busySince sim.Time
+	busyTotal sim.Duration
+}
+
+func newExecutor(eng *sim.Engine, core *Core) *Executor {
+	return &Executor{eng: eng, core: core, speed: 1}
+}
+
+// Busy reports whether a context is currently running.
+func (x *Executor) Busy() bool { return x.running }
+
+// Label reports the running context's label ("" when idle).
+func (x *Executor) Label() string {
+	if !x.running {
+		return ""
+	}
+	return x.label
+}
+
+// BusyTime reports the cumulative time this core spent executing.
+func (x *Executor) BusyTime() sim.Duration {
+	total := x.busyTotal
+	if x.running {
+		total += x.eng.Now().Sub(x.busySince)
+	}
+	return total
+}
+
+// Utilization reports BusyTime divided by elapsed simulation time.
+func (x *Executor) Utilization() float64 {
+	now := x.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(x.BusyTime()) / float64(now)
+}
+
+// Start begins executing `work` nanoseconds of compute at the given speed
+// factor (1.0 = full speed); onDone fires when the work completes. It
+// panics if the executor is already busy — owners must Preempt first;
+// double-dispatch always indicates a scheduling bug worth failing loudly.
+func (x *Executor) Start(label string, work sim.Duration, speed float64, onDone func()) {
+	if x.running {
+		panic(fmt.Sprintf("hw: core %d executor busy with %q, cannot start %q",
+			x.core.id, x.label, label))
+	}
+	if speed <= 0 {
+		panic("hw: non-positive speed factor")
+	}
+	if work < 0 {
+		work = 0
+	}
+	x.running = true
+	x.label = label
+	x.remaining = work
+	x.speed = speed
+	x.startedAt = x.eng.Now()
+	x.busySince = x.eng.Now()
+	x.onDone = onDone
+	x.schedule()
+}
+
+func (x *Executor) schedule() {
+	wall := sim.Duration(float64(x.remaining) / x.speed)
+	x.ev = x.eng.After(wall, "exec:"+x.label, x.complete)
+}
+
+func (x *Executor) complete() {
+	x.ev = nil
+	x.busyTotal += x.eng.Now().Sub(x.busySince)
+	x.running = false
+	done := x.onDone
+	x.onDone = nil
+	if done != nil {
+		done()
+	}
+}
+
+// consumed reports how much work has been executed since startedAt.
+func (x *Executor) consumed() sim.Duration {
+	elapsed := x.eng.Now().Sub(x.startedAt)
+	return sim.Duration(float64(elapsed) * x.speed)
+}
+
+// Preempt stops the running context and reports the work remaining; the
+// onDone callback will not fire. Preempting an idle executor returns 0.
+func (x *Executor) Preempt() sim.Duration {
+	if !x.running {
+		return 0
+	}
+	x.eng.Cancel(x.ev)
+	x.ev = nil
+	done := x.consumed()
+	if done > x.remaining {
+		done = x.remaining
+	}
+	x.remaining -= done
+	x.busyTotal += x.eng.Now().Sub(x.busySince)
+	x.running = false
+	x.onDone = nil
+	return x.remaining
+}
+
+// SetSpeed changes the speed factor of the running context (for example,
+// when its working set warms up). A no-op when idle.
+func (x *Executor) SetSpeed(speed float64) {
+	if !x.running {
+		return
+	}
+	if speed <= 0 {
+		panic("hw: non-positive speed factor")
+	}
+	// Account for work done so far, then re-schedule the remainder.
+	done := x.consumed()
+	if done > x.remaining {
+		done = x.remaining
+	}
+	x.remaining -= done
+	x.startedAt = x.eng.Now()
+	x.speed = speed
+	x.eng.Cancel(x.ev)
+	x.schedule()
+}

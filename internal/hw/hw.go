@@ -1,0 +1,340 @@
+// Package hw models the physical machine: cores with security worlds and
+// power states, inter-processor interrupts, per-core timers, and the
+// machine-wide microarchitectural state. It corresponds to the Armv9
+// platform (with RME) the paper's design targets, minus anything the
+// higher layers do not observe.
+//
+// The model enforces physics, not policy: any software layer may ask to
+// run anything anywhere. Policy (who may run where) belongs to the
+// security monitor and host kernel built on top, which is exactly the
+// paper's software-only premise.
+package hw
+
+import (
+	"fmt"
+
+	"coregap/internal/granule"
+	"coregap/internal/sim"
+	"coregap/internal/uarch"
+)
+
+// CoreID identifies a physical core.
+type CoreID int
+
+// NoCore is the absent-core sentinel.
+const NoCore CoreID = -1
+
+// World is the security state a core currently executes in.
+type World int
+
+// Security worlds (Arm CCA terminology; TDX's SEAM and CoVE's confidential
+// mode are the same concept — Table 1 of the paper).
+const (
+	NormalWorld World = iota // host kernel and userspace
+	RealmWorld               // RMM and confidential VMs
+	RootWorld                // EL3 trusted firmware
+)
+
+func (w World) String() string {
+	switch w {
+	case NormalWorld:
+		return "normal"
+	case RealmWorld:
+		return "realm"
+	case RootWorld:
+		return "root"
+	default:
+		return fmt.Sprintf("world(%d)", int(w))
+	}
+}
+
+// PowerState is a core's hotplug state from the host's point of view.
+type PowerState int
+
+// Power states.
+const (
+	// Online: under host-kernel scheduler control.
+	Online PowerState = iota
+	// Offline: hotplugged out and halted (normal Linux hotplug endpoint).
+	Offline
+	// DedicatedRealm: hotplugged out of the host and handed to the
+	// security monitor — the paper's modification to the hotplug path
+	// (§4.2): instead of halting, the core jumps into realm world.
+	DedicatedRealm
+)
+
+func (p PowerState) String() string {
+	switch p {
+	case Online:
+		return "online"
+	case Offline:
+		return "offline"
+	case DedicatedRealm:
+		return "dedicated-realm"
+	default:
+		return fmt.Sprintf("power(%d)", int(p))
+	}
+}
+
+// IRQ is an interrupt number. 0..15 are SGIs (IPIs) as on the Arm GIC.
+type IRQ int
+
+// Architectural interrupt numbers used by the models.
+const (
+	// SGIs 0..6 are "reserved by Linux" (the paper notes 7 of 16 are
+	// taken); we model the ones the design needs.
+	IPIReschedule IRQ = 0 // host scheduler kick
+	IPICall       IRQ = 1 // smp_call_function
+	IPIGuestExit  IRQ = 7 // our addition: CVM exit notification (§4.3)
+	IPIHostToRMM  IRQ = 8 // our addition: host requests attention of RMM core
+
+	IRQVTimer IRQ = 27 // virtual timer PPI
+	IRQPTimer IRQ = 30 // physical timer PPI
+	// Device interrupt numbers (SPIs) start at 32.
+	SPIBase IRQ = 32
+)
+
+// IsSGI reports whether the IRQ is an inter-processor interrupt.
+func (i IRQ) IsSGI() bool { return i >= 0 && i < 16 }
+
+// IRQHandler receives interrupts delivered to a core.
+type IRQHandler func(from CoreID, irq IRQ)
+
+// ExecRecord is one entry of a core's execution audit log.
+type ExecRecord struct {
+	At     sim.Time
+	Domain uarch.DomainID
+	World  World
+}
+
+// Core is one physical core.
+type Core struct {
+	id   CoreID
+	mach *Machine
+
+	world World
+	power PowerState
+
+	// Uarch is the core's private microarchitectural state.
+	Uarch *uarch.CoreState
+
+	// Exec is the core's compute executor (one context at a time).
+	Exec *Executor
+
+	handler IRQHandler
+
+	curDomain uarch.DomainID
+	log       []ExecRecord
+	maxLog    int
+}
+
+// ID reports the core's identity.
+func (c *Core) ID() CoreID { return c.id }
+
+// World reports the core's current security world.
+func (c *Core) World() World { return c.world }
+
+// Power reports the core's hotplug state.
+func (c *Core) Power() PowerState { return c.power }
+
+// CurrentDomain reports the security domain last recorded as executing.
+func (c *Core) CurrentDomain() uarch.DomainID { return c.curDomain }
+
+// SetIRQHandler installs the interrupt handler for whoever owns the core
+// (host kernel in normal world, RMM in realm world).
+func (c *Core) SetIRQHandler(h IRQHandler) { c.handler = h }
+
+// SwitchWorld performs a world switch on this core, returning its modelled
+// direct cost (the EL3 round trip). The caller is responsible for any
+// mitigation flushing; the paper's point is precisely that those flushes
+// are policy, applied (or not) by trusted firmware.
+func (c *Core) SwitchWorld(to World) sim.Duration {
+	if c.world == to {
+		return 0
+	}
+	c.world = to
+	return c.mach.worldSwitchCost
+}
+
+// RecordExecution notes that domain d executed on this core for the
+// purposes of the security audit and microarchitectural state, touching
+// per-core structures with the given footprint and secret fraction.
+func (c *Core) RecordExecution(d uarch.DomainID, footprint, secretFrac float64) {
+	c.curDomain = d
+	c.Uarch.Touch(d, footprint, secretFrac, c.mach.tagSrc)
+	if len(c.log) < c.maxLog {
+		c.log = append(c.log, ExecRecord{At: c.mach.eng.Now(), Domain: d, World: c.world})
+	}
+}
+
+// ExecLog returns the core's execution audit log (bounded).
+func (c *Core) ExecLog() []ExecRecord { return c.log }
+
+// DomainsObserved reports the distinct domains that ever executed on the
+// core, in first-seen order. Tests use this to verify the core-gapping
+// invariant: a dedicated core sees only {monitor, its guest}.
+func (c *Core) DomainsObserved() []uarch.DomainID {
+	var out []uarch.DomainID
+	seen := map[uarch.DomainID]bool{}
+	for _, r := range c.log {
+		if !seen[r.Domain] {
+			seen[r.Domain] = true
+			out = append(out, r.Domain)
+		}
+	}
+	return out
+}
+
+// Machine is the whole physical platform.
+type Machine struct {
+	eng    *sim.Engine
+	cores  []*Core
+	shared *uarch.SharedState
+	gpt    *granule.Table
+	tagSrc *sim.Source
+
+	ipiLatency      sim.Duration
+	worldSwitchCost sim.Duration
+	freqGHz         float64
+}
+
+// Config sizes a machine.
+type Config struct {
+	Cores           int
+	MemBytes        uint64
+	IPILatency      sim.Duration // physical SGI delivery latency
+	WorldSwitchCost sim.Duration // one EL3-mediated world transition
+	FreqGHz         float64
+	ExecLogDepth    int // per-core audit-log bound (0 = default)
+}
+
+// DefaultConfig models the evaluation platform: an AmpereOne-class SoC,
+// 3 GHz, no SMT (§5.1; threaded processors would dedicate all sibling
+// threads of a core together, §4.2 footnote).
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:           cores,
+		MemBytes:        16 << 30,
+		IPILatency:      500 * sim.Nanosecond,
+		WorldSwitchCost: 1200 * sim.Nanosecond,
+		FreqGHz:         3.0,
+		ExecLogDepth:    4096,
+	}
+}
+
+// NewMachine builds a machine.
+func NewMachine(eng *sim.Engine, cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("hw: machine with no cores")
+	}
+	if cfg.ExecLogDepth <= 0 {
+		cfg.ExecLogDepth = 4096
+	}
+	m := &Machine{
+		eng:             eng,
+		shared:          uarch.NewSharedState(131072, 16),
+		gpt:             granule.NewTable(cfg.MemBytes),
+		tagSrc:          eng.Source("hw.tags"),
+		ipiLatency:      cfg.IPILatency,
+		worldSwitchCost: cfg.WorldSwitchCost,
+		freqGHz:         cfg.FreqGHz,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &Core{
+			id:     CoreID(i),
+			mach:   m,
+			Uarch:  uarch.NewCoreState(),
+			maxLog: cfg.ExecLogDepth,
+		}
+		c.Exec = newExecutor(eng, c)
+		m.cores = append(m.cores, c)
+	}
+	return m
+}
+
+// Engine reports the machine's simulation engine.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// NumCores reports the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core id; it panics on an invalid id (modelling bug).
+func (m *Machine) Core(id CoreID) *Core {
+	if id < 0 || int(id) >= len(m.cores) {
+		panic(fmt.Sprintf("hw: no core %d", id))
+	}
+	return m.cores[id]
+}
+
+// Cores returns all cores.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// Shared returns the socket-shared microarchitectural state.
+func (m *Machine) Shared() *uarch.SharedState { return m.shared }
+
+// GPT returns the granule protection table.
+func (m *Machine) GPT() *granule.Table { return m.gpt }
+
+// IPILatency reports the physical IPI delivery latency.
+func (m *Machine) IPILatency() sim.Duration { return m.ipiLatency }
+
+// SendIPI delivers irq from core "from" to core "to" after the physical
+// delivery latency. Delivery invokes the *owner's* handler installed at
+// delivery time — if ownership changed in flight, the new owner gets it,
+// as on real hardware.
+func (m *Machine) SendIPI(from, to CoreID, irq IRQ) {
+	target := m.Core(to)
+	m.eng.After(m.ipiLatency, fmt.Sprintf("ipi%d->%d", from, to), func() {
+		if target.handler != nil {
+			target.handler(from, irq)
+		}
+	})
+}
+
+// DeliverIRQ delivers a device interrupt (SPI) to a core immediately
+// after the routing latency; the distributor model in package gic decides
+// the target core.
+func (m *Machine) DeliverIRQ(to CoreID, irq IRQ) {
+	target := m.Core(to)
+	m.eng.After(m.ipiLatency, fmt.Sprintf("irq%d@%d", int(irq), to), func() {
+		if target.handler != nil {
+			target.handler(NoCore, irq)
+		}
+	})
+}
+
+// SetPower transitions a core's hotplug state. The transition itself is
+// modelled as instantaneous; the host's hotplug *procedure* (task
+// migration, IRQ retargeting) is modelled in package host where it
+// belongs.
+func (m *Machine) SetPower(id CoreID, p PowerState) {
+	m.Core(id).power = p
+}
+
+// OnlineCores reports the cores currently under host control.
+func (m *Machine) OnlineCores() []CoreID {
+	var out []CoreID
+	for _, c := range m.cores {
+		if c.power == Online {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// DedicatedCores reports the cores handed to realm world.
+func (m *Machine) DedicatedCores() []CoreID {
+	var out []CoreID
+	for _, c := range m.cores {
+		if c.power == DedicatedRealm {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// TouchShared models domain d filling socket-shared structures from any
+// core (LLC footprint and, when usesStaging, the staging buffer).
+func (m *Machine) TouchShared(d uarch.DomainID, footprint float64, usesStaging bool) {
+	m.shared.TouchShared(d, footprint, usesStaging, m.tagSrc)
+}

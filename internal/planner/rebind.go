@@ -1,0 +1,101 @@
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"coregap/internal/hw"
+)
+
+// Coarse-timescale rebinding support (§3 future work): the planner can
+// compute compaction plans that undo long-term fragmentation of the free
+// pool, and tracks in-flight moves so a core is never double-allocated.
+
+// Rebind errors.
+var (
+	ErrCoreNotFree  = errors.New("planner: target core not free")
+	ErrCoreNotOwned = errors.New("planner: core not owned by this VM")
+)
+
+// Move is one planned vCPU-core migration.
+type Move struct {
+	VM   string
+	From hw.CoreID
+	To   hw.CoreID
+}
+
+// BeginRebind reserves the free core `to` for vm. Until CompleteRebind,
+// the VM temporarily owns both cores, which is exactly the physical
+// situation during the migration window.
+func (p *Planner) BeginRebind(vm string, to hw.CoreID) error {
+	a, ok := p.assigned[vm]
+	if !ok {
+		return ErrUnknownVM
+	}
+	if !p.free[to] {
+		return ErrCoreNotFree
+	}
+	delete(p.free, to)
+	a.GuestCores = append(a.GuestCores, to)
+	return nil
+}
+
+// CompleteRebind releases the vacated core `from` back to the free pool.
+func (p *Planner) CompleteRebind(vm string, from hw.CoreID) error {
+	a, ok := p.assigned[vm]
+	if !ok {
+		return ErrUnknownVM
+	}
+	for i, c := range a.GuestCores {
+		if c == from {
+			a.GuestCores = append(a.GuestCores[:i], a.GuestCores[i+1:]...)
+			p.free[from] = true
+			return nil
+		}
+	}
+	return ErrCoreNotOwned
+}
+
+// AbortRebind returns a reserved-but-unused target core to the pool.
+func (p *Planner) AbortRebind(vm string, to hw.CoreID) error {
+	return p.CompleteRebind(vm, to)
+}
+
+// CompactionPlan computes moves that pack every VM's cores toward the
+// lowest core numbers, eliminating fragmentation of the free pool. The
+// plan moves one core at a time and never requires a temporary spare:
+// each move's target is free at plan time and plan order.
+func (p *Planner) CompactionPlan() []Move {
+	free := map[hw.CoreID]bool{}
+	for c := range p.free {
+		free[c] = true
+	}
+	var moves []Move
+
+	// Deterministic order: VMs by name, their cores ascending.
+	for _, a := range p.Assignments() {
+		cores := append([]hw.CoreID(nil), a.GuestCores...)
+		sort.Slice(cores, func(i, j int) bool { return cores[i] < cores[j] })
+		for _, c := range cores {
+			// Lowest free core below c, if any.
+			best := hw.NoCore
+			for f := range free {
+				if f < c && (best == hw.NoCore || f < best) {
+					best = f
+				}
+			}
+			if best == hw.NoCore {
+				continue
+			}
+			moves = append(moves, Move{VM: a.VM, From: c, To: best})
+			delete(free, best)
+			free[c] = true
+		}
+	}
+	return moves
+}
+
+func (m Move) String() string {
+	return fmt.Sprintf("%s: core %d -> %d", m.VM, m.From, m.To)
+}

@@ -1,0 +1,242 @@
+package rmm
+
+import (
+	"errors"
+
+	"coregap/internal/granule"
+	"coregap/internal/hw"
+	"coregap/internal/smc"
+)
+
+// Dispatcher is the monitor's host-facing RMI entry point: it decodes SMC
+// calls, resolves the opaque handles the ABI uses (a realm is named by
+// its RD granule's PA, a vCPU by its REC granule's PA, exactly as in the
+// RMM specification), validates, and invokes the monitor. The host never
+// holds Go pointers into the monitor — everything crosses the boundary as
+// register values, which is what makes the hostile-host tests meaningful.
+type Dispatcher struct {
+	m      *Monitor
+	realms map[granule.PA]*Realm
+	recs   map[granule.PA]*REC
+}
+
+// NewDispatcher wraps a monitor with the RMI ABI.
+func NewDispatcher(m *Monitor) *Dispatcher {
+	return &Dispatcher{
+		m:      m,
+		realms: make(map[granule.PA]*Realm),
+		recs:   make(map[granule.PA]*REC),
+	}
+}
+
+// ABI version reported by RMI_VERSION: major 1, minor 0, plus the
+// core-gapping feature bit in the features register.
+const (
+	abiVersion      = 1 << 16 // v1.0
+	featureCoreGap  = 1 << 0
+	featureDelegTim = 1 << 1
+	featureDelegIPI = 1 << 2
+)
+
+// Realm resolves an RD handle (nil when unknown).
+func (d *Dispatcher) Realm(rd granule.PA) *Realm { return d.realms[rd] }
+
+// Rec resolves a REC handle (nil when unknown).
+func (d *Dispatcher) Rec(pa granule.PA) *REC { return d.recs[pa] }
+
+func errStatus(err error) smc.Status {
+	switch {
+	case err == nil:
+		return smc.StatusSuccess
+	case errors.Is(err, ErrBadRealm), errors.Is(err, ErrRealmState), errors.Is(err, ErrNotActive):
+		return smc.StatusErrorRealm
+	case errors.Is(err, ErrBadRec):
+		return smc.StatusErrorRec
+	case errors.Is(err, ErrBoundElsewhere), errors.Is(err, ErrCoreInUse),
+		errors.Is(err, ErrCoreNotDedicated), errors.Is(err, ErrCoreBusy):
+		return smc.StatusErrorCoreGap
+	case errors.Is(err, granule.ErrBadState), errors.Is(err, granule.ErrDoubleDelegate),
+		errors.Is(err, granule.ErrNotScrubbed), errors.Is(err, granule.ErrWrongOwner):
+		return smc.StatusErrorInUse
+	case errors.Is(err, granule.ErrUnaligned), errors.Is(err, granule.ErrOutOfRange),
+		errors.Is(err, granule.ErrLevel):
+		return smc.StatusErrorInput
+	case errors.Is(err, granule.ErrNoTable), errors.Is(err, granule.ErrTableExists),
+		errors.Is(err, granule.ErrEntryState), errors.Is(err, granule.ErrNotEmpty):
+		return smc.StatusErrorRtt
+	default:
+		return smc.StatusErrorInput
+	}
+}
+
+// Handle implements smc.Handler for the RMI.
+func (d *Dispatcher) Handle(c smc.Call) smc.Result {
+	switch c.FID {
+	case smc.RMIVersion:
+		return smc.Ok1(abiVersion)
+
+	case smc.RMIFeatures:
+		var f uint64
+		if d.m.cfg.CoreGapped {
+			f |= featureCoreGap
+		}
+		if d.m.cfg.DelegateTimer {
+			f |= featureDelegTim
+		}
+		if d.m.cfg.DelegateVIPI {
+			f |= featureDelegIPI
+		}
+		return smc.Ok1(f)
+
+	case smc.RMIGranuleDelegate:
+		return statusOnly(d.m.gpt.Delegate(granule.PA(c.Args[0])))
+
+	case smc.RMIGranuleUndelegate:
+		return statusOnly(d.m.gpt.Undelegate(granule.PA(c.Args[0])))
+
+	case smc.RMIRealmCreate:
+		// args: rd PA, rtt-root PA, vcpus, ipa bits, flags
+		params := RealmParams{
+			VCPUs:   int(c.Args[2]),
+			IPASize: uint(c.Args[3]),
+			Flags:   c.Args[4],
+		}
+		rd := granule.PA(c.Args[0])
+		if _, dup := d.realms[rd]; dup {
+			return smc.Err(smc.StatusErrorInUse)
+		}
+		r, err := d.m.RealmCreate(params, rd, granule.PA(c.Args[1]))
+		if err != nil {
+			return smc.Err(errStatus(err))
+		}
+		d.realms[rd] = r
+		return smc.Ok1(uint64(r.ID()))
+
+	case smc.RMIRealmActivate:
+		r := d.realms[granule.PA(c.Args[0])]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		return statusOnly(d.m.Activate(r))
+
+	case smc.RMIRealmDestroy:
+		rd := granule.PA(c.Args[0])
+		r := d.realms[rd]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		if err := d.m.Destroy(r); err != nil {
+			return smc.Err(errStatus(err))
+		}
+		delete(d.realms, rd)
+		for pa, rec := range d.recs {
+			if rec.realm == r {
+				delete(d.recs, pa)
+			}
+		}
+		return smc.Ok()
+
+	case smc.RMIRecCreate:
+		r := d.realms[granule.PA(c.Args[0])]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		recPA := granule.PA(c.Args[1])
+		rec, err := d.m.RecCreate(r, recPA)
+		if err != nil {
+			return smc.Err(errStatus(err))
+		}
+		d.recs[recPA] = rec
+		return smc.Ok1(uint64(rec.Index()))
+
+	case smc.RMIRecDestroy:
+		recPA := granule.PA(c.Args[0])
+		rec := d.recs[recPA]
+		if rec == nil {
+			return smc.Err(smc.StatusErrorRec)
+		}
+		if err := d.m.RecDestroy(rec); err != nil {
+			return smc.Err(errStatus(err))
+		}
+		delete(d.recs, recPA)
+		return smc.Ok()
+
+	case smc.RMIRecEnter:
+		// args: rec PA, core id. The actual guest execution is driven by
+		// the orchestrator; at the ABI level RecEnter is the binding
+		// check plus the entry accounting.
+		rec := d.recs[granule.PA(c.Args[0])]
+		if rec == nil {
+			return smc.Err(smc.StatusErrorRec)
+		}
+		core := hw.CoreID(c.Args[1])
+		if core < 0 || int(core) >= d.m.mach.NumCores() {
+			return smc.Err(smc.StatusErrorInput)
+		}
+		if err := d.m.CheckEnter(rec, core); err != nil {
+			return smc.Err(errStatus(err))
+		}
+		d.m.NoteEnter(rec)
+		return smc.Ok()
+
+	case smc.RMIRttCreate:
+		r := d.realms[granule.PA(c.Args[0])]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		return statusOnly(r.rtt.CreateTable(granule.IPA(c.Args[1]), int(c.Args[2]), granule.PA(c.Args[3])))
+
+	case smc.RMIRttDestroy:
+		r := d.realms[granule.PA(c.Args[0])]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		return statusOnly(r.rtt.DestroyTable(granule.IPA(c.Args[1]), int(c.Args[2])))
+
+	case smc.RMIDataCreate:
+		r := d.realms[granule.PA(c.Args[0])]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		return statusOnly(d.m.DataCreate(r, granule.IPA(c.Args[1]), granule.PA(c.Args[2]), nil))
+
+	case smc.RMIDataDestroy:
+		r := d.realms[granule.PA(c.Args[0])]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		return statusOnly(r.rtt.Unmap(granule.IPA(c.Args[1])))
+
+	case smc.RMIRttMapUnprotected:
+		r := d.realms[granule.PA(c.Args[0])]
+		if r == nil {
+			return smc.Err(smc.StatusErrorRealm)
+		}
+		return statusOnly(r.rtt.MapShared(granule.IPA(c.Args[1]), granule.PA(c.Args[2])))
+
+	case smc.RMICoreDedicate:
+		core := hw.CoreID(c.Args[0])
+		if core < 0 || int(core) >= d.m.mach.NumCores() {
+			return smc.Err(smc.StatusErrorInput)
+		}
+		d.m.DedicateCore(core)
+		return smc.Ok()
+
+	case smc.RMICoreReclaim:
+		core := hw.CoreID(c.Args[0])
+		if core < 0 || int(core) >= d.m.mach.NumCores() {
+			return smc.Err(smc.StatusErrorInput)
+		}
+		return statusOnly(d.m.ReclaimCore(core))
+
+	default:
+		return smc.Err(smc.StatusErrorUnknown)
+	}
+}
+
+func statusOnly(err error) smc.Result {
+	if err != nil {
+		return smc.Err(errStatus(err))
+	}
+	return smc.Ok()
+}

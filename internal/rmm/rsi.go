@@ -1,0 +1,126 @@
+package rmm
+
+import (
+	"coregap/internal/attest"
+	"coregap/internal/smc"
+)
+
+// RSIDispatcher is the monitor's guest-facing entry point: realm services
+// interface calls made from inside a CVM. Unlike RMI, the caller's
+// identity is implicit — the realm whose vCPU executed the SMC — so the
+// dispatcher is constructed per realm.
+type RSIDispatcher struct {
+	m *Monitor
+	r *Realm
+
+	// token buffer for the init/continue attestation protocol: the real
+	// ABI streams the token out one granule at a time.
+	tokenBuf []byte
+	tokenOff int
+}
+
+// NewRSIDispatcher returns the RSI entry for one realm's guests.
+func NewRSIDispatcher(m *Monitor, r *Realm) *RSIDispatcher {
+	return &RSIDispatcher{m: m, r: r}
+}
+
+// rsiChunk is the per-RSI_ATTEST_TOKEN_CONTINUE payload size.
+const rsiChunk = 64
+
+// Handle implements smc.Handler for the RSI.
+func (d *RSIDispatcher) Handle(c smc.Call) smc.Result {
+	switch c.FID {
+	case smc.RSIVersion:
+		return smc.Ok1(abiVersion)
+
+	case smc.RSIRealmConfig:
+		// Returns the realm's IPA width and, in this implementation, the
+		// core-gapping feature bits so a guest can make an early (pre-
+		// attestation) policy decision.
+		var f uint64
+		if d.m.cfg.CoreGapped {
+			f |= featureCoreGap
+		}
+		return smc.Result{Status: smc.StatusSuccess,
+			Vals: [3]uint64{uint64(d.r.params.IPASize), f, uint64(d.r.params.VCPUs)}}
+
+	case smc.RSIMeasurementExtend:
+		// args: REM index, measurement data (modelled as a register pair).
+		idx := int(c.Args[0])
+		var data [16]byte
+		for i := 0; i < 8; i++ {
+			data[i] = byte(c.Args[1] >> (8 * i))
+			data[8+i] = byte(c.Args[2] >> (8 * i))
+		}
+		if err := d.r.ledger.ExtendREM(idx, data[:]); err != nil {
+			return smc.Err(smc.StatusErrorInput)
+		}
+		return smc.Ok()
+
+	case smc.RSIAttestTokenInit:
+		// args: challenge (first 8 bytes in a register; the rest of the
+		// 32-byte challenge lives in guest memory in the real ABI).
+		var challenge [32]byte
+		for i := 0; i < 8; i++ {
+			challenge[i] = byte(c.Args[0] >> (8 * i))
+		}
+		tok, err := d.m.Token(d.r, challenge)
+		if err != nil {
+			return smc.Err(errStatus(err))
+		}
+		d.tokenBuf = encodeToken(tok)
+		d.tokenOff = 0
+		return smc.Ok1(uint64(len(d.tokenBuf)))
+
+	case smc.RSIAttestTokenCont:
+		if d.tokenBuf == nil {
+			return smc.Err(smc.StatusErrorInput)
+		}
+		remaining := len(d.tokenBuf) - d.tokenOff
+		if remaining <= 0 {
+			d.tokenBuf = nil
+			return smc.Ok1(0)
+		}
+		n := rsiChunk
+		if n > remaining {
+			n = remaining
+		}
+		d.tokenOff += n
+		return smc.Ok1(uint64(n))
+
+	case smc.RSIIPAStateSet:
+		// The guest marks an IPA range shared/protected; the monitor
+		// records the intent (stage-2 changes are host-initiated).
+		return smc.Ok()
+
+	case smc.RSIHostCall:
+		// A paravirtual call the host must service; at the ABI level the
+		// monitor forwards it as a REC exit. Accounted by the caller.
+		return smc.Ok()
+
+	default:
+		return smc.Err(smc.StatusErrorUnknown)
+	}
+}
+
+// TokenBytes reports the token stream collected so far (for tests).
+func (d *RSIDispatcher) TokenBytes() []byte { return d.tokenBuf }
+
+// encodeToken flattens a token for the streaming ABI.
+func encodeToken(t *attest.Token) []byte {
+	out := make([]byte, 0, 256)
+	out = append(out, t.PlatformMeasurement[:]...)
+	out = append(out, []byte(t.MonitorVersion)...)
+	if t.CoreGapped {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, t.RIM[:]...)
+	for i := range t.REMs {
+		out = append(out, t.REMs[i][:]...)
+	}
+	out = append(out, t.Challenge[:]...)
+	out = append(out, t.MAC[:]...)
+	return out
+}

@@ -1,0 +1,5 @@
+package sim
+
+import "math"
+
+func mathLog(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,105 @@
+package sim
+
+import "fmt"
+
+// Timer is a re-armable one-shot timer bound to an engine. It wraps the
+// cancel-and-reschedule pattern used pervasively by periodic hardware
+// timers and watchdogs in the models.
+type Timer struct {
+	eng   *Engine
+	ev    *Event
+	label string
+	fn    func()
+}
+
+// NewTimer returns an unarmed timer that will invoke fn when it fires.
+func NewTimer(eng *Engine, label string, fn func()) *Timer {
+	return &Timer{eng: eng, label: label, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire after d. Any previously pending
+// expiry is cancelled.
+func (t *Timer) Arm(d Duration) {
+	t.Disarm()
+	t.ev = t.eng.After(d, t.label, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// ArmAt (re)schedules the timer to fire at absolute time at.
+func (t *Timer) ArmAt(at Time) {
+	t.Disarm()
+	t.ev = t.eng.At(at, t.label, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Disarm cancels a pending expiry, if any.
+func (t *Timer) Disarm() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev.Pending() }
+
+// Deadline reports when the timer will fire; valid only when Pending.
+func (t *Timer) Deadline() Time {
+	if !t.Pending() {
+		return Forever
+	}
+	return t.ev.Time()
+}
+
+// Ticker invokes fn every period, starting one period from Start.
+// Unlike two chained Timers, it guarantees no drift: ticks fire at
+// start+k*period exactly.
+type Ticker struct {
+	eng    *Engine
+	label  string
+	period Duration
+	next   Time
+	ev     *Event
+	fn     func()
+}
+
+// NewTicker returns a stopped ticker.
+func NewTicker(eng *Engine, label string, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker %q with period %v", label, period))
+	}
+	return &Ticker{eng: eng, label: label, period: period, fn: fn}
+}
+
+// Start begins ticking. The first tick fires one period from now.
+func (t *Ticker) Start() {
+	t.Stop()
+	t.next = t.eng.Now().Add(t.period)
+	t.schedule()
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.At(t.next, t.label, func() {
+		t.next = t.next.Add(t.period)
+		t.schedule()
+		t.fn()
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.ev.Pending() }
+
+// Period reports the tick interval.
+func (t *Ticker) Period() Duration { return t.period }

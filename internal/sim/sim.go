@@ -1,0 +1,256 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with nanosecond resolution.
+//
+// All higher-level models in this repository (hardware, firmware, host OS,
+// devices, workloads) are built on this engine. Determinism is guaranteed
+// by a strict (time, sequence) ordering of events and by requiring all
+// randomness to flow through seeded Source values obtained from the engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is an absolute simulation timestamp in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a time later than any reachable simulation instant.
+const Forever Time = math.MaxInt64
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return fmtDuration(Duration(t)) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports d as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Nanos reports d as an integer nanosecond count.
+func (d Duration) Nanos() int64 { return int64(d) }
+
+func (d Duration) String() string { return fmtDuration(d) }
+
+func fmtDuration(d Duration) string {
+	switch {
+	case d < 0:
+		return "-" + fmtDuration(-d)
+	case d < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(d)/float64(Second))
+	}
+}
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel pending events (for example when a timer is
+// re-armed or a compute slice is preempted).
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index, -1 once fired or cancelled
+	fn     func()
+	label  string
+	cancel bool
+}
+
+// Time reports when the event will fire (or was scheduled to fire).
+func (e *Event) Time() Time { return e.at }
+
+// Label reports the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	seed    uint64
+	sources map[string]*Source
+
+	// Stats.
+	fired     uint64
+	cancelled uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// sources derive from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{seed: seed, sources: make(map[string]*Source)}
+}
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed reports the root seed the engine was constructed with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// EventsFired reports how many events have executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug.
+func (e *Engine) At(t Time, label string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, label: label}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d is clamped
+// to zero.
+func (e *Engine) After(d Duration, label string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), label, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired, cancelled or nil
+// event is a no-op, so callers need not track event lifetimes precisely.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.events, ev.index)
+	e.cancelled++
+}
+
+// Step executes the single next event, advancing the clock. It reports
+// false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 || e.stopped {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	if ev.at < e.now {
+		panic("sim: event heap corrupted (time went backwards)")
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t
+// (if it has not already passed it). Events scheduled exactly at t run.
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t && !e.stopped {
+		e.now = t
+	}
+}
+
+// RunFor advances the clock by d. See RunUntil.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// NextEventTime reports the timestamp of the earliest queued event, or
+// Forever when the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	if len(e.events) == 0 {
+		return Forever
+	}
+	return e.events[0].at
+}
+
+// Source returns a named deterministic random source. The same (seed, name)
+// pair always yields the same stream, independent of the order in which
+// sources are created or used relative to one another.
+func (e *Engine) Source(name string) *Source {
+	if s, ok := e.sources[name]; ok {
+		return s
+	}
+	s := NewSource(mix(e.seed, hashString(name)))
+	e.sources[name] = s
+	return s
+}
+
+// SourceNames reports the names of all sources created so far, sorted.
+func (e *Engine) SourceNames() []string {
+	names := make([]string, 0, len(e.sources))
+	for n := range e.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("F", "t", "cores", "score")
+	f.Series("a").Add(2, 1.5)
+	f.Series("b, with comma").Add(2, 2.5)
+	f.Series("a").Add(4, 3)
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != `cores,a,"b, with comma"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "2,1.5,2.5" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// Missing cell is empty.
+	if lines[2] != "4,3," {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "t", "Latency", "Notes")
+	tb.AddRow("sync", "258 ns", `has "quotes"`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "row,Latency,Notes" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `sync,258 ns,"has ""quotes"""` {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

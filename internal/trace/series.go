@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled line of a paper figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// YAt reports the y value at the given x, or (0, false) when absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// MaxY reports the largest y value in the series (0 when empty).
+func (s *Series) MaxY() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// Figure is a reproduced paper figure: a set of series over a shared x axis.
+type Figure struct {
+	Name   string // e.g. "Figure 6"
+	Title  string
+	XLabel string
+	YLabel string
+	series map[string]*Series
+	order  []string
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(name, title, xlabel, ylabel string) *Figure {
+	return &Figure{Name: name, Title: title, XLabel: xlabel, YLabel: ylabel,
+		series: make(map[string]*Series)}
+}
+
+// Series returns the labelled series, creating it on first use.
+func (f *Figure) Series(label string) *Series {
+	s, ok := f.series[label]
+	if !ok {
+		s = &Series{Label: label}
+		f.series[label] = s
+		f.order = append(f.order, label)
+	}
+	return s
+}
+
+// Labels reports series labels in insertion order.
+func (f *Figure) Labels() []string { return append([]string(nil), f.order...) }
+
+// String renders the figure as aligned columns: one row per x value, one
+// column per series — the same rows/series shape the paper plots.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.Name, f.Title)
+	xs := map[float64]bool{}
+	for _, s := range f.series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, l := range f.order {
+		fmt.Fprintf(&b, " %22s", l)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", f.YLabel)
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-14.6g", x)
+		for _, l := range f.order {
+			if y, ok := f.series[l].YAt(x); ok {
+				fmt.Fprintf(&b, " %22.6g", y)
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a reproduced paper table: named rows of named columns.
+type Table struct {
+	Name    string // e.g. "Table 2"
+	Title   string
+	columns []string
+	rows    []tableRow
+}
+
+type tableRow struct {
+	label string
+	cells map[string]string
+}
+
+// NewTable returns an empty table with the given column order.
+func NewTable(name, title string, columns ...string) *Table {
+	return &Table{Name: name, Title: title, columns: columns}
+}
+
+// AddRow appends a row; cells are matched to columns by position.
+func (t *Table) AddRow(label string, cells ...string) {
+	row := tableRow{label: label, cells: make(map[string]string)}
+	for i, c := range cells {
+		if i < len(t.columns) {
+			row.cells[t.columns[i]] = c
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Cell reports the value at (rowLabel, column), or "" when absent.
+func (t *Table) Cell(rowLabel, column string) string {
+	for _, r := range t.rows {
+		if r.label == rowLabel {
+			return r.cells[column]
+		}
+	}
+	return ""
+}
+
+// Rows reports the number of rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.Name, t.Title)
+	width := 12
+	for _, r := range t.rows {
+		if len(r.label) > width {
+			width = len(r.label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range t.columns {
+		fmt.Fprintf(&b, " %18s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.label)
+		for _, c := range t.columns {
+			fmt.Fprintf(&b, " %18s", r.cells[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

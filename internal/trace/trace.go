@@ -1,0 +1,235 @@
+// Package trace collects measurements from simulation runs: counters,
+// latency histograms with percentile queries, and time series suitable for
+// regenerating the paper's tables and figures.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"coregap/internal/sim"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// Name reports the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Hist records duration samples and answers mean/percentile queries.
+// Samples are stored exactly; runs in this repository are small enough
+// (≤ a few million samples) that exact percentiles are affordable and
+// remove any binning artefacts from reproduced numbers.
+type Hist struct {
+	name    string
+	samples []sim.Duration
+	sorted  bool
+	sum     float64
+}
+
+// Name reports the histogram's name.
+func (h *Hist) Name() string { return h.name }
+
+// Observe records one sample.
+func (h *Hist) Observe(d sim.Duration) {
+	h.samples = append(h.samples, d)
+	h.sum += float64(d)
+	h.sorted = false
+}
+
+// Count reports the number of samples.
+func (h *Hist) Count() int { return len(h.samples) }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (h *Hist) Mean() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / float64(len(h.samples)))
+}
+
+// Sum reports the total of all samples.
+func (h *Hist) Sum() sim.Duration { return sim.Duration(h.sum) }
+
+func (h *Hist) sortSamples() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (p in [0,100]) using
+// nearest-rank; 0 with no samples.
+func (h *Hist) Percentile(p float64) sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Hist) Min() sim.Duration { return h.Percentile(0) }
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Hist) Max() sim.Duration { return h.Percentile(100) }
+
+// Stddev reports the sample standard deviation.
+func (h *Hist) Stddev() sim.Duration {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := h.sum / float64(n)
+	var ss float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return sim.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// Gauge tracks the latest value of a quantity along with its extremes.
+type Gauge struct {
+	name     string
+	v        float64
+	min, max float64
+	set      bool
+}
+
+// Name reports the gauge's name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set records a new value.
+func (g *Gauge) Set(v float64) {
+	if !g.set {
+		g.min, g.max = v, v
+		g.set = true
+	}
+	if v < g.min {
+		g.min = v
+	}
+	if v > g.max {
+		g.max = v
+	}
+	g.v = v
+}
+
+// Value reports the most recent value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Min reports the smallest value ever set.
+func (g *Gauge) Min() float64 { return g.min }
+
+// Max reports the largest value ever set.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Set is a named collection of metrics for one simulation run.
+type Set struct {
+	counters map[string]*Counter
+	hists    map[string]*Hist
+	gauges   map[string]*Gauge
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Hist),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (s *Set) Hist(name string) *Hist {
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Hist{name: name}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Set) Gauge(name string) *Gauge {
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// HasCounter reports whether the named counter exists (without creating it).
+func (s *Set) HasCounter(name string) bool {
+	_, ok := s.counters[name]
+	return ok
+}
+
+// CounterNames reports all counter names, sorted.
+func (s *Set) CounterNames() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistNames reports all histogram names, sorted.
+func (s *Set) HistNames() []string {
+	names := make([]string, 0, len(s.hists))
+	for n := range s.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the set as a human-readable report.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.CounterNames() {
+		fmt.Fprintf(&b, "counter %-40s %d\n", n, s.counters[n].Value())
+	}
+	for _, n := range s.HistNames() {
+		h := s.hists[n]
+		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
+			n, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coregap/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("exits")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	if s.Counter("exits") != c {
+		t.Fatal("counter not memoized")
+	}
+	if !s.HasCounter("exits") || s.HasCounter("nope") {
+		t.Fatal("HasCounter wrong")
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	s := NewSet()
+	h := s.Hist("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50 { // (1+..+100)/100 = 50.5, truncates to 50
+		t.Fatalf("mean = %v, want 50", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Percentile(95); got != 95 {
+		t.Fatalf("p95 = %v, want 95", got)
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %v, want 5050", h.Sum())
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty hist should report zeros")
+	}
+}
+
+func TestHistPercentileProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := &Hist{}
+		vals := make([]sim.Duration, len(raw))
+		for i, r := range raw {
+			vals[i] = sim.Duration(r)
+			h.Observe(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		p := float64(pRaw) / 255 * 100
+		got := h.Percentile(p)
+		// Nearest-rank percentile must be an actual sample within range.
+		if got < vals[0] || got > vals[len(vals)-1] {
+			return false
+		}
+		idx := sort.Search(len(vals), func(i int) bool { return vals[i] >= got })
+		return idx < len(vals) && vals[idx] == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistPercentileMonotone(t *testing.T) {
+	h := &Hist{}
+	src := sim.NewSource(3)
+	for i := 0; i < 5000; i++ {
+		h.Observe(src.Duration(0, 1_000_000))
+	}
+	prev := sim.Duration(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistStddev(t *testing.T) {
+	h := &Hist{}
+	for _, v := range []sim.Duration{2000, 4000, 4000, 4000, 5000, 5000, 7000, 9000} {
+		h.Observe(v)
+	}
+	// Known dataset (×1000): sample stddev ~2138.
+	got := float64(h.Stddev())
+	if math.Abs(got-2138) > 1 {
+		t.Fatalf("stddev = %v, want ~2138", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	s := NewSet()
+	g := s.Gauge("q")
+	g.Set(5)
+	g.Set(2)
+	g.Set(8)
+	if g.Value() != 8 || g.Min() != 2 || g.Max() != 8 {
+		t.Fatalf("gauge = %v min %v max %v", g.Value(), g.Min(), g.Max())
+	}
+}
+
+func TestSetNamesSorted(t *testing.T) {
+	s := NewSet()
+	s.Counter("b")
+	s.Counter("a")
+	s.Hist("z")
+	s.Hist("y")
+	if names := s.CounterNames(); names[0] != "a" || names[1] != "b" {
+		t.Fatalf("counter names = %v", names)
+	}
+	if names := s.HistNames(); names[0] != "y" || names[1] != "z" {
+		t.Fatalf("hist names = %v", names)
+	}
+	if out := s.String(); !strings.Contains(out, "counter") || !strings.Contains(out, "hist") {
+		t.Fatalf("String missing sections: %q", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 30)
+	if y, ok := s.YAt(2); !ok || y != 30 {
+		t.Fatalf("YAt(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(99); ok {
+		t.Fatal("YAt(99) should miss")
+	}
+	if s.MaxY() != 30 {
+		t.Fatalf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("Figure 6", "scaling", "cores", "score")
+	f.Series("shared").Add(4, 100)
+	f.Series("gapped").Add(4, 110)
+	f.Series("gapped").Add(8, 220)
+	out := f.String()
+	for _, want := range []string{"Figure 6", "shared", "gapped", "cores", "score"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	if labels := f.Labels(); len(labels) != 2 || labels[0] != "shared" {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Missing cell renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing cell not rendered as -")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Table 2", "null call latency", "Latency")
+	tb.AddRow("async", "2757.6 ns")
+	tb.AddRow("sync", "257.7 ns")
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	if got := tb.Cell("sync", "Latency"); got != "257.7 ns" {
+		t.Fatalf("cell = %q", got)
+	}
+	if got := tb.Cell("nope", "Latency"); got != "" {
+		t.Fatalf("missing row cell = %q", got)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "async") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,270 @@
+package uarch
+
+import (
+	"fmt"
+
+	"coregap/internal/sim"
+)
+
+// Sizes of the modelled structures, in entries. Absolute sizes only shape
+// warmth-decay curves and sampling probabilities; relative sizes follow a
+// contemporary Arm server core (≈AmpereOne class).
+var defaultSizes = map[StructKind]int{
+	L1D:         1024, // 64 KiB / 64 B lines
+	L1I:         1024,
+	L2:          16384, // 1 MiB private L2
+	DTLB:        256,
+	ITLB:        256,
+	BTB:         4096,
+	RSB:         32,
+	StoreBuffer: 56,
+	FillBuffer:  16,
+	LoadPort:    8,
+	FPURegs:     64,
+	UopCache:    1536,
+	APICRegs:    16,
+	Prefetch:    64,
+}
+
+// CoreState is the per-core microarchitectural state.
+type CoreState struct {
+	bufs [sharedKindsStart]*Buffer
+	// lastDomain is the domain that most recently executed; a change
+	// means a same-core context switch between security domains occurred.
+	lastDomain DomainID
+	switches   uint64 // cross-domain same-core switches observed
+}
+
+// NewCoreState returns a core with all structures empty.
+func NewCoreState() *CoreState {
+	cs := &CoreState{}
+	for k := StructKind(0); k < sharedKindsStart; k++ {
+		cs.bufs[k] = NewBuffer(k, defaultSizes[k])
+	}
+	return cs
+}
+
+// Buffer returns the structure of the given per-core kind.
+func (cs *CoreState) Buffer(k StructKind) *Buffer {
+	if k.Shared() {
+		panic(fmt.Sprintf("uarch: %v is not per-core", k))
+	}
+	return cs.bufs[k]
+}
+
+// LastDomain reports the domain that most recently executed on this core.
+func (cs *CoreState) LastDomain() DomainID { return cs.lastDomain }
+
+// DomainSwitches reports how many cross-domain context switches this core
+// has observed — exactly the events core gapping eliminates.
+func (cs *CoreState) DomainSwitches() uint64 { return cs.switches }
+
+// Touch models domain d executing on the core: it fills per-core
+// structures proportionally to footprint (0..1 of each structure's
+// capacity), tagging secretFrac of new entries as secret-derived.
+// tagSrc provides entry identities deterministically.
+func (cs *CoreState) Touch(d DomainID, footprint, secretFrac float64, tagSrc *sim.Source) {
+	if d != cs.lastDomain {
+		if cs.lastDomain != DomainNone && d != DomainNone {
+			cs.switches++
+		}
+		cs.lastDomain = d
+	}
+	if footprint <= 0 {
+		return
+	}
+	if footprint > 1 {
+		footprint = 1
+	}
+	for k := StructKind(0); k < sharedKindsStart; k++ {
+		b := cs.bufs[k]
+		n := int(footprint * float64(b.Cap()))
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			secret := secretFrac > 0 && tagSrc.Float64() < secretFrac
+			b.Insert(Entry{Domain: d, Secret: secret, Tag: tagSrc.Uint64()})
+		}
+	}
+}
+
+// Warmth reports the fraction of per-core cache/TLB/predictor capacity
+// currently holding d's entries, weighted toward the structures that
+// dominate restart cost (L1, L2, TLBs). 1.0 means fully warm.
+func (cs *CoreState) Warmth(d DomainID) float64 {
+	weights := map[StructKind]float64{
+		L1D: 0.25, L1I: 0.10, L2: 0.35, DTLB: 0.10, ITLB: 0.05,
+		BTB: 0.10, UopCache: 0.05,
+	}
+	var w, total float64
+	for k, wt := range weights {
+		w += wt * cs.bufs[k].Occupancy(d)
+		total += wt
+	}
+	return w / total
+}
+
+// FlushAll architecturally flushes every per-core structure and returns
+// the modelled time cost. This is the mitigation work a shared-core
+// security monitor must perform on every world switch (§2.1: "flushing
+// carries an inevitable cost").
+func (cs *CoreState) FlushAll(costs FlushCosts) sim.Duration {
+	var total sim.Duration
+	for k := StructKind(0); k < sharedKindsStart; k++ {
+		cs.bufs[k].Flush()
+		total += costs.Of(k)
+	}
+	return total
+}
+
+// FlushMitigations flushes only the structures targeted by deployed
+// transient-execution mitigations (branch state, store/fill buffers,
+// FPU state) — the verw/BHB-clear/FEDISABLE-style sequence — and
+// returns its time cost.
+func (cs *CoreState) FlushMitigations(costs FlushCosts) sim.Duration {
+	var total sim.Duration
+	for _, k := range []StructKind{BTB, RSB, StoreBuffer, FillBuffer, LoadPort, FPURegs, UopCache} {
+		cs.bufs[k].Flush()
+		total += costs.Of(k)
+	}
+	return total
+}
+
+// ResidueFor reports, per structure, foreign entries visible to reader.
+func (cs *CoreState) ResidueFor(reader DomainID) map[StructKind][]Entry {
+	out := make(map[StructKind][]Entry)
+	for k := StructKind(0); k < sharedKindsStart; k++ {
+		if r := cs.bufs[k].Residue(reader); len(r) > 0 {
+			out[k] = r
+		}
+	}
+	return out
+}
+
+// FlushCosts gives the modelled per-structure flush latency.
+type FlushCosts map[StructKind]sim.Duration
+
+// Of reports the cost for kind k (0 when unspecified).
+func (fc FlushCosts) Of(k StructKind) sim.Duration { return fc[k] }
+
+// DefaultFlushCosts models a contemporary mitigation sequence. The values
+// sum to the multi-microsecond world-switch overhead the paper observes
+// for same-core monitor calls (Table 2: >12.8 µs including EL3 costs).
+func DefaultFlushCosts() FlushCosts {
+	return FlushCosts{
+		L1D:         2 * sim.Microsecond,
+		L1I:         800 * sim.Nanosecond,
+		L2:          0, // not flushed in practice
+		DTLB:        600 * sim.Nanosecond,
+		ITLB:        400 * sim.Nanosecond,
+		BTB:         900 * sim.Nanosecond,
+		RSB:         100 * sim.Nanosecond,
+		StoreBuffer: 200 * sim.Nanosecond,
+		FillBuffer:  300 * sim.Nanosecond,
+		LoadPort:    200 * sim.Nanosecond,
+		FPURegs:     400 * sim.Nanosecond,
+		UopCache:    300 * sim.Nanosecond,
+		APICRegs:    0,
+		Prefetch:    200 * sim.Nanosecond,
+	}
+}
+
+// SharedState is the socket-level state shared by all cores.
+type SharedState struct {
+	llc         *Buffer
+	llcWays     int
+	partitioned bool
+	// wayOwner maps LLC way index -> domain when partitioning is enabled.
+	wayOwner []DomainID
+	staging  *Buffer
+}
+
+// NewSharedState returns socket state with an llcWays-way LLC and a
+// CrossTalk-style staging buffer.
+func NewSharedState(llcEntries, llcWays int) *SharedState {
+	if llcWays <= 0 {
+		llcWays = 16
+	}
+	return &SharedState{
+		llc:      NewBuffer(LLC, llcEntries),
+		llcWays:  llcWays,
+		wayOwner: make([]DomainID, llcWays),
+		staging:  NewBuffer(Staging, 32),
+	}
+}
+
+// LLC returns the shared last-level cache.
+func (ss *SharedState) LLC() *Buffer { return ss.llc }
+
+// Staging returns the shared staging buffer (CrossTalk's channel).
+func (ss *SharedState) Staging() *Buffer { return ss.staging }
+
+// EnablePartitioning turns on way-partitioning of the LLC (the hardware
+// cache-partitioning mitigation the paper recommends for the remaining
+// cross-core cache channel, §2.4).
+func (ss *SharedState) EnablePartitioning() { ss.partitioned = true }
+
+// Partitioned reports whether LLC way-partitioning is enabled.
+func (ss *SharedState) Partitioned() bool { return ss.partitioned }
+
+// AssignWays gives n LLC ways to domain d; returns false when fewer than
+// n ways remain unassigned.
+func (ss *SharedState) AssignWays(d DomainID, n int) bool {
+	free := 0
+	for _, o := range ss.wayOwner {
+		if o == DomainNone {
+			free++
+		}
+	}
+	if free < n {
+		return false
+	}
+	for i := range ss.wayOwner {
+		if n == 0 {
+			break
+		}
+		if ss.wayOwner[i] == DomainNone {
+			ss.wayOwner[i] = d
+			n--
+		}
+	}
+	return true
+}
+
+// ReleaseWays returns all of d's LLC ways to the free pool.
+func (ss *SharedState) ReleaseWays(d DomainID) {
+	for i, o := range ss.wayOwner {
+		if o == d {
+			ss.wayOwner[i] = DomainNone
+		}
+	}
+}
+
+// TouchShared models domain d filling shared structures. With LLC
+// partitioning enabled, d's fills are confined to its own ways and cannot
+// evict (nor be observed via) other domains' lines.
+func (ss *SharedState) TouchShared(d DomainID, footprint float64, usesStaging bool, tagSrc *sim.Source) {
+	if footprint > 1 {
+		footprint = 1
+	}
+	n := int(footprint * float64(ss.llc.Cap()) / float64(ss.llcWays))
+	for i := 0; i < n; i++ {
+		ss.llc.Insert(Entry{Domain: d, Tag: tagSrc.Uint64()})
+	}
+	if usesStaging {
+		// Instructions like RDRAND/CPUID leave residue in the shared
+		// staging buffer regardless of which core executed them.
+		ss.staging.Insert(Entry{Domain: d, Secret: true, Tag: tagSrc.Uint64()})
+	}
+}
+
+// LLCObservable reports whether reader can observe domain owner's LLC
+// footprint: always true without partitioning, never true with it
+// (distinct domains never share ways once assigned).
+func (ss *SharedState) LLCObservable(owner, reader DomainID) bool {
+	if owner.Trusts(reader) {
+		return true
+	}
+	return !ss.partitioned
+}

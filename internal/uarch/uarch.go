@@ -1,0 +1,228 @@
+// Package uarch models the microarchitectural state that transient-execution
+// attacks exploit: per-core structures (L1 caches, TLBs, branch predictors,
+// store buffers, line-fill buffers) and cross-core structures (last-level
+// cache, the CPUID/RDRAND staging buffer of CrossTalk fame).
+//
+// The model is deliberately architectural rather than cycle-accurate: each
+// structure is a bounded set of entries tagged with the security domain that
+// created them and whether they are derived from secret data. This captures
+// exactly the property the paper's security argument rests on — *which
+// structures can hold another domain's state when code runs on a core* —
+// while also supplying a warmth/pollution signal used by the performance
+// model (cold microarchitectural state after host interference, §2.3).
+package uarch
+
+import "fmt"
+
+// DomainID identifies a security domain: the untrusted host, the trusted
+// monitor, or one confidential VM. Domains are the unit of distrust.
+type DomainID int32
+
+// Well-known domains. Guest domains are allocated from GuestBase upward.
+const (
+	DomainNone    DomainID = 0
+	DomainHost    DomainID = 1
+	DomainMonitor DomainID = 2
+	GuestBase     DomainID = 100
+)
+
+// Guest returns the domain for guest (CVM) index i.
+func Guest(i int) DomainID { return GuestBase + DomainID(i) }
+
+// IsGuest reports whether d identifies a confidential VM.
+func (d DomainID) IsGuest() bool { return d >= GuestBase }
+
+func (d DomainID) String() string {
+	switch {
+	case d == DomainNone:
+		return "none"
+	case d == DomainHost:
+		return "host"
+	case d == DomainMonitor:
+		return "monitor"
+	case d.IsGuest():
+		return fmt.Sprintf("guest%d", d-GuestBase)
+	default:
+		return fmt.Sprintf("domain%d", int32(d))
+	}
+}
+
+// Trusts reports whether domain d trusts domain other to observe its
+// microarchitectural residue. Every domain trusts itself and the monitor
+// (which is attested and wipes its own state); nothing else is trusted.
+func (d DomainID) Trusts(other DomainID) bool {
+	return d == other || other == DomainMonitor
+}
+
+// StructKind identifies one microarchitectural structure class.
+type StructKind int
+
+// The structures the Fig. 3 vulnerabilities exploit. Kinds below
+// sharedKindsStart are per-core; the rest are shared across cores.
+const (
+	L1D StructKind = iota
+	L1I
+	L2
+	DTLB
+	ITLB
+	BTB // branch target buffer / branch history
+	RSB // return stack buffer
+	StoreBuffer
+	FillBuffer // line-fill buffers (MDS family)
+	LoadPort
+	FPURegs   // FPU/SIMD register file (LazyFP, Zenbleed)
+	UopCache  // micro-op cache
+	APICRegs  // local APIC architectural/superqueue state (ÆPIC)
+	Prefetch  // data-memory-dependent prefetcher state (Augury, GoFetch)
+	LLC       // shared last-level cache
+	Staging   // shared staging buffer for CPUID/RDRAND etc. (CrossTalk)
+	Interconn // on-chip interconnect/mesh contention state
+	numKinds
+)
+
+const sharedKindsStart = LLC
+
+var kindNames = [...]string{
+	L1D: "L1D", L1I: "L1I", L2: "L2", DTLB: "dTLB", ITLB: "iTLB",
+	BTB: "BTB", RSB: "RSB", StoreBuffer: "store-buffer",
+	FillBuffer: "fill-buffer", LoadPort: "load-port", FPURegs: "fpu-regs",
+	UopCache: "uop-cache", APICRegs: "apic", Prefetch: "dmp-prefetcher",
+	LLC: "LLC", Staging: "staging-buffer", Interconn: "interconnect",
+}
+
+func (k StructKind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("struct(%d)", int(k))
+}
+
+// Shared reports whether the structure is shared across physical cores.
+func (k StructKind) Shared() bool { return k >= sharedKindsStart }
+
+// PerCoreKinds lists all per-core structure kinds.
+func PerCoreKinds() []StructKind {
+	kinds := make([]StructKind, 0, int(sharedKindsStart))
+	for k := StructKind(0); k < sharedKindsStart; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+// SharedKinds lists all cross-core structure kinds.
+func SharedKinds() []StructKind {
+	kinds := make([]StructKind, 0, int(numKinds-sharedKindsStart))
+	for k := sharedKindsStart; k < numKinds; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+// Entry is one tagged slot of a structure.
+type Entry struct {
+	Domain DomainID
+	Secret bool   // derived from data the owning domain considers secret
+	Tag    uint64 // opaque identity (address bits, branch PC, ...)
+}
+
+// Buffer is a bounded structure holding tagged entries with FIFO
+// replacement. FIFO (rather than LRU) keeps the model simple; replacement
+// policy does not affect any security verdict, only warmth decay shape.
+type Buffer struct {
+	kind    StructKind
+	cap     int
+	entries []Entry
+	next    int // FIFO replacement cursor
+}
+
+// NewBuffer returns an empty buffer of the given capacity.
+func NewBuffer(kind StructKind, capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("uarch: buffer %v with capacity %d", kind, capacity))
+	}
+	return &Buffer{kind: kind, cap: capacity}
+}
+
+// Kind reports the structure class.
+func (b *Buffer) Kind() StructKind { return b.kind }
+
+// Cap reports the entry capacity.
+func (b *Buffer) Cap() int { return b.cap }
+
+// Len reports the number of valid entries.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Insert adds an entry, evicting the oldest when full. It reports the
+// evicted entry (Domain == DomainNone when nothing was evicted).
+func (b *Buffer) Insert(e Entry) (evicted Entry) {
+	if len(b.entries) < b.cap {
+		b.entries = append(b.entries, e)
+		return Entry{}
+	}
+	evicted = b.entries[b.next]
+	b.entries[b.next] = e
+	b.next = (b.next + 1) % b.cap
+	return evicted
+}
+
+// CountDomain reports how many entries belong to d.
+func (b *Buffer) CountDomain(d DomainID) int {
+	n := 0
+	for _, e := range b.entries {
+		if e.Domain == d {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy reports the fraction of capacity holding d's entries.
+func (b *Buffer) Occupancy(d DomainID) float64 {
+	return float64(b.CountDomain(d)) / float64(b.cap)
+}
+
+// Residue reports all entries whose owner does not trust reader — i.e. the
+// foreign state a transient-execution primitive run by reader could sample.
+func (b *Buffer) Residue(reader DomainID) []Entry {
+	var out []Entry
+	for _, e := range b.entries {
+		if e.Domain != DomainNone && !e.Domain.Trusts(reader) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SecretResidue reports foreign entries that are secret-tagged.
+func (b *Buffer) SecretResidue(reader DomainID) []Entry {
+	var out []Entry
+	for _, e := range b.Residue(reader) {
+		if e.Secret {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Flush removes all entries (architectural flush, e.g. verw/DSB-style).
+func (b *Buffer) Flush() {
+	b.entries = b.entries[:0]
+	b.next = 0
+}
+
+// FlushDomain removes entries belonging to d, preserving others.
+func (b *Buffer) FlushDomain(d DomainID) {
+	kept := b.entries[:0]
+	for _, e := range b.entries {
+		if e.Domain != d {
+			kept = append(kept, e)
+		}
+	}
+	b.entries = kept
+	if b.next > len(b.entries) {
+		b.next = 0
+	}
+	if len(b.entries) < b.cap {
+		b.next = 0
+	}
+}

@@ -1,0 +1,209 @@
+package vmm
+
+import (
+	"testing"
+
+	"coregap/internal/gic"
+	"coregap/internal/guest"
+	"coregap/internal/host"
+	"coregap/internal/hw"
+	"coregap/internal/sim"
+	"coregap/internal/trace"
+)
+
+func newVMM(t *testing.T, cores, ioCore int) (*sim.Engine, *host.Kernel, *VMM) {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	m := hw.NewMachine(eng, hw.DefaultConfig(cores))
+	k := host.NewKernel(m, gic.NewDistributor(m), trace.NewSet())
+	v := New("vm0", k, DefaultCosts(), ioCore, k.Metrics())
+	return eng, k, v
+}
+
+func TestBlkRequestLifecycle(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	var got []guest.Event
+	v.SetInject(func(vcpu int, ev guest.Event) { got = append(got, ev) })
+
+	v.Submit(0, guest.IORequest{Dev: guest.VirtioBlk, Bytes: 4096, Write: true, Tag: 7})
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatalf("completions = %d", len(got))
+	}
+	ev := got[0]
+	if ev.Kind != guest.EvIOComplete || ev.Dev != guest.VirtioBlk || ev.Bytes != 4096 || ev.Tag != 7 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if v.Blk.Requests() != 1 || v.Blk.Completed() != 1 {
+		t.Fatal("blk accounting")
+	}
+	// End-to-end latency must include emulation + media + completion
+	// (writes see the 70% write-cache media latency).
+	c := v.Costs()
+	min := c.BlkPerRequest + c.BlkMediaLatency*7/10 + sim.Microsecond
+	if eng.Now() < sim.Time(min) {
+		t.Fatalf("completed at %v, faster than cost floor %v", eng.Now(), min)
+	}
+}
+
+func TestBlkLargerRequestsTakeLonger(t *testing.T) {
+	measure := func(bytes int) sim.Time {
+		eng, _, v := newVMM(t, 2, 1)
+		v.SetInject(func(int, guest.Event) {})
+		v.Submit(0, guest.IORequest{Dev: guest.VirtioBlk, Bytes: bytes})
+		eng.Run()
+		return eng.Now()
+	}
+	small, big := measure(4096), measure(1<<20)
+	if big <= small {
+		t.Fatalf("1MiB (%v) not slower than 4KiB (%v)", big, small)
+	}
+}
+
+func TestNetTxReachesPeer(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	var gotBytes, gotTag int
+	v.Net.ConnectPeer(func(bytes, tag int) { gotBytes, gotTag = bytes, tag })
+	v.Submit(0, guest.IORequest{Dev: guest.VirtioNet, Bytes: 9000, Tag: 3})
+	eng.Run()
+	if gotBytes != 9000 || gotTag != 3 {
+		t.Fatalf("peer got %d/%d", gotBytes, gotTag)
+	}
+	// 9000B = 6 MTU packets.
+	if v.Net.TxPackets() != 6 {
+		t.Fatalf("tx packets = %d, want 6", v.Net.TxPackets())
+	}
+}
+
+func TestNetRxInjectsCoalesced(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	events := 0
+	v.SetInject(func(vcpu int, ev guest.Event) {
+		events++
+		if ev.Kind != guest.EvPacket || ev.Bytes != 4500 {
+			t.Fatalf("event = %+v", ev)
+		}
+	})
+	v.Net.DeliverToGuest(0, 4500, 0)
+	eng.Run()
+	if events != 1 {
+		t.Fatalf("events = %d, want 1 (coalesced)", events)
+	}
+	if v.Net.RxPackets() != 3 {
+		t.Fatalf("rx packets = %d", v.Net.RxPackets())
+	}
+}
+
+func TestVFBypassesHostCPU(t *testing.T) {
+	eng, k, v := newVMM(t, 2, 1)
+	delivered := false
+	v.VF.ConnectPeer(func(bytes, tag int) { delivered = true })
+	v.Submit(0, guest.IORequest{Dev: guest.SRIOVNet, Bytes: 64 << 10})
+	eng.Run()
+	if !delivered {
+		t.Fatal("vf tx never arrived")
+	}
+	if v.IOThread().CPUTime() != 0 {
+		t.Fatalf("SR-IOV consumed %v host CPU on the data path", v.IOThread().CPUTime())
+	}
+	_ = k
+}
+
+func TestVFFasterThanVirtioForBulk(t *testing.T) {
+	measure := func(dev guest.DeviceClass) sim.Time {
+		eng, _, v := newVMM(t, 2, 1)
+		done := sim.Time(0)
+		fn := func(bytes, tag int) { done = eng.Now() }
+		v.Net.ConnectPeer(fn)
+		v.VF.ConnectPeer(fn)
+		v.Submit(0, guest.IORequest{Dev: dev, Bytes: 1 << 20})
+		eng.Run()
+		return done
+	}
+	virtio, vf := measure(guest.VirtioNet), measure(guest.SRIOVNet)
+	if vf >= virtio {
+		t.Fatalf("SR-IOV (%v) not faster than virtio (%v) for 1MiB", vf, virtio)
+	}
+}
+
+func TestIOThreadPinning(t *testing.T) {
+	eng, _, v := newVMM(t, 4, 2)
+	v.SetInject(func(int, guest.Event) {})
+	v.Submit(0, guest.IORequest{Dev: guest.VirtioBlk, Bytes: 4096})
+	eng.Run()
+	if v.IOThread().Core() != 2 {
+		t.Fatalf("io thread ran on core %d, want 2", v.IOThread().Core())
+	}
+	if v.IOThread().Pin() != 2 {
+		t.Fatal("pin not recorded")
+	}
+}
+
+func TestPeerPingPong(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	peer := NewPeer(eng, v.Costs(), nil)
+	hist := &trace.Hist{}
+
+	// Echo guest: reflect every delivery straight back via the VF.
+	peer.Connect(func(vcpu, bytes, tag int) {
+		// Model zero guest time: immediately transmit back.
+		v.VF.Submit(vcpu, guest.IORequest{Dev: guest.SRIOVNet, Bytes: bytes, Tag: tag})
+	})
+	done := false
+	pp := NewPingPong(peer, 1024, 10, hist, func() { done = true })
+	v.VF.ConnectPeer(pp.OnEcho)
+	pp.Start()
+	eng.Run()
+	if !done || pp.Done() != 10 {
+		t.Fatalf("rounds = %d", pp.Done())
+	}
+	if hist.Count() != 10 {
+		t.Fatalf("rtt samples = %d", hist.Count())
+	}
+	// RTT floor: 2 wire crossings + DMA costs.
+	c := v.Costs()
+	floor := 2 * c.WireLatency
+	if hist.Min() < floor {
+		t.Fatalf("rtt %v below wire floor %v", hist.Min(), floor)
+	}
+}
+
+func TestLoadGenClosedLoop(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	peer := NewPeer(eng, v.Costs(), nil)
+	hist := &trace.Hist{}
+
+	// Echo server guest.
+	peer.Connect(func(vcpu, bytes, tag int) {
+		v.VF.Submit(vcpu, guest.IORequest{Dev: guest.SRIOVNet, Bytes: 128, Tag: tag})
+	})
+	lg := NewLoadGen(peer, 10, 512, func(c int) int { return c }, hist)
+	v.VF.ConnectPeer(lg.OnResponse)
+	lg.Start()
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+	lg.Stop()
+	eng.Run()
+	if lg.Served() < 100 {
+		t.Fatalf("served = %d, want many", lg.Served())
+	}
+	if hist.Count() != int(lg.Served()) {
+		t.Fatal("latency samples != served")
+	}
+	if lg.Throughput(10*sim.Millisecond) <= 0 {
+		t.Fatal("throughput")
+	}
+}
+
+func TestSubmitRoutesToDevices(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	v.SetInject(func(int, guest.Event) {})
+	v.Net.ConnectPeer(func(int, int) {})
+	v.VF.ConnectPeer(func(int, int) {})
+	v.Submit(0, guest.IORequest{Dev: guest.VirtioBlk, Bytes: 512})
+	v.Submit(0, guest.IORequest{Dev: guest.VirtioNet, Bytes: 512})
+	v.Submit(0, guest.IORequest{Dev: guest.SRIOVNet, Bytes: 512})
+	eng.Run()
+	if v.Blk.Requests() != 1 || v.Net.TxPackets() != 1 || v.VF.TxBytes() != 512 {
+		t.Fatal("routing wrong")
+	}
+}

@@ -1,0 +1,242 @@
+// Package vulncat catalogues the transient-execution vulnerabilities and
+// CPU bugs of the paper's Figure 3 — every disclosed issue since 2018 that
+// broke processor security isolation on mainstream CPUs — together with
+// the microarchitectural structures each exploits and the scope at which
+// it leaks. From the catalogue we derive the paper's central empirical
+// claim: only CrossTalk (and, marginally, NetSpectre) demonstrated a
+// cross-core leak in a typical cloud-VM setting; everything else is
+// same-core or sibling-thread and is therefore defeated by core gapping.
+package vulncat
+
+import (
+	"fmt"
+	"sort"
+
+	"coregap/internal/uarch"
+)
+
+// Scope classifies the sharing boundary a vulnerability crosses.
+type Scope int
+
+// Scopes, ordered by increasing reach.
+const (
+	// SameThread leaks only across context switches on one hardware thread.
+	SameThread Scope = iota
+	// SiblingSMT leaks to the sibling hardware thread of the same core.
+	SiblingSMT
+	// CrossCore leaks across physical core boundaries.
+	CrossCore
+	// Remote leaks over the network with no code co-residency at all.
+	Remote
+)
+
+func (s Scope) String() string {
+	switch s {
+	case SameThread:
+		return "same-thread"
+	case SiblingSMT:
+		return "sibling-SMT"
+	case CrossCore:
+		return "cross-core"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("scope(%d)", int(s))
+	}
+}
+
+// Class distinguishes speculation issues from architectural CPU bugs.
+type Class int
+
+// Vulnerability classes.
+const (
+	Transient Class = iota // transient-execution / speculation
+	ArchBug                // architectural bug leaking or corrupting state
+)
+
+func (c Class) String() string {
+	if c == ArchBug {
+		return "CPU bug"
+	}
+	return "transient"
+}
+
+// Vuln is one catalogued vulnerability.
+type Vuln struct {
+	Name       string
+	Year       int
+	Class      Class
+	Scope      Scope
+	Structures []uarch.StructKind // structures exploited / used as channel
+	Vendors    string             // affected vendor families, informational
+	Note       string
+}
+
+// MitigatedByCoreGapping reports whether binding distrusting domains to
+// disjoint physical cores removes the vulnerability from a CVM's TCB.
+// The rule follows the paper: everything whose reach is confined to a
+// core (same-thread or sibling-SMT — all threads of a core are bound to
+// one CVM, §4.2 fn.1) is mitigated; cross-core and remote leaks are not.
+func (v Vuln) MitigatedByCoreGapping() bool {
+	return v.Scope == SameThread || v.Scope == SiblingSMT
+}
+
+// Catalogue returns the Figure 3 timeline, sorted by year then name.
+// The set matches the vulnerabilities cited in the paper (§1, §2.2 and
+// Fig. 3): 30+ same-core issues, with CrossTalk and NetSpectre the only
+// cross-core/remote demonstrations relevant to cloud VMs.
+func Catalogue() []Vuln {
+	vulns := []Vuln{
+		{"Spectre", 2018, Transient, SameThread, []uarch.StructKind{uarch.BTB, uarch.L1D}, "Intel/AMD/Arm", "branch-predictor poisoning (v1/v2)"},
+		{"Meltdown", 2018, Transient, SameThread, []uarch.StructKind{uarch.L1D}, "Intel/Arm", "rogue data cache load"},
+		{"Speculative Store Bypass", 2018, Transient, SameThread, []uarch.StructKind{uarch.StoreBuffer}, "Intel/AMD/Arm", "v4"},
+		{"LazyFP", 2018, Transient, SameThread, []uarch.StructKind{uarch.FPURegs}, "Intel", "lazy FPU state restore"},
+		{"Foreshadow", 2018, Transient, SiblingSMT, []uarch.StructKind{uarch.L1D}, "Intel", "L1TF, broke SGX"},
+		{"NetSpectre", 2019, Transient, Remote, []uarch.StructKind{uarch.BTB, uarch.LLC}, "Intel/AMD/Arm", "<10 b/h in cloud settings"},
+		{"ZombieLoad", 2019, Transient, SiblingSMT, []uarch.StructKind{uarch.FillBuffer}, "Intel", "MDS"},
+		{"RIDL", 2019, Transient, SiblingSMT, []uarch.StructKind{uarch.FillBuffer, uarch.LoadPort}, "Intel", "MDS"},
+		{"Fallout", 2019, Transient, SameThread, []uarch.StructKind{uarch.StoreBuffer}, "Intel", "MDS on Meltdown-resistant CPUs"},
+		{"SWAPGS", 2019, Transient, SameThread, []uarch.StructKind{uarch.BTB, uarch.L1D}, "Intel", "speculative SWAPGS"},
+		{"iTLB multihit", 2019, ArchBug, SameThread, []uarch.StructKind{uarch.ITLB}, "Intel", "machine check / DoS via iTLB"},
+		{"Plundervolt", 2020, ArchBug, SameThread, []uarch.StructKind{uarch.FPURegs}, "Intel", "undervolting fault injection vs SGX"},
+		{"LVI", 2020, Transient, SameThread, []uarch.StructKind{uarch.FillBuffer, uarch.StoreBuffer}, "Intel", "load value injection"},
+		{"CacheOut", 2020, Transient, SiblingSMT, []uarch.StructKind{uarch.L1D, uarch.FillBuffer}, "Intel", "L1D eviction sampling"},
+		{"Snoop-assisted L1 sampling", 2020, Transient, CrossCore, []uarch.StructKind{uarch.L1D}, "Intel", "impractical rate; no advisory-level cloud impact"},
+		{"CrossTalk", 2020, Transient, CrossCore, []uarch.StructKind{uarch.Staging}, "Intel", "the one severe cross-core leak (staging buffer)"},
+		{"Straight-line speculation", 2020, Transient, SameThread, []uarch.StructKind{uarch.BTB}, "Arm", ""},
+		{"I see dead uops", 2021, Transient, SiblingSMT, []uarch.StructKind{uarch.UopCache}, "Intel/AMD", "uop-cache channel"},
+		{"Pandora's box (uarch leaks)", 2021, Transient, SameThread, []uarch.StructKind{uarch.Prefetch, uarch.L1D}, "Intel/AMD/Arm", "systematic study of new leak sources"},
+		{"Branch History Injection", 2022, Transient, SameThread, []uarch.StructKind{uarch.BTB}, "Intel/Arm", "cross-privilege Spectre-v2 revival"},
+		{"Retbleed", 2022, Transient, SameThread, []uarch.StructKind{uarch.RSB, uarch.BTB}, "Intel/AMD", "return instruction speculation"},
+		{"AEPIC leak", 2022, ArchBug, SameThread, []uarch.StructKind{uarch.APICRegs}, "Intel", "architecturally leaked stale SGX data"},
+		{"PACMAN", 2022, Transient, SameThread, []uarch.StructKind{uarch.BTB}, "Apple/Arm", "pointer-authentication oracle"},
+		{"Augury", 2022, Transient, SameThread, []uarch.StructKind{uarch.Prefetch}, "Apple/Arm", "DMP leaks data at rest"},
+		{"MMIO stale data", 2022, ArchBug, SameThread, []uarch.StructKind{uarch.FillBuffer}, "Intel", "propagated stale MMIO data"},
+		{"Downfall", 2023, Transient, SiblingSMT, []uarch.StructKind{uarch.FPURegs, uarch.FillBuffer}, "Intel", "gather data sampling"},
+		{"Inception", 2023, Transient, SameThread, []uarch.StructKind{uarch.RSB, uarch.BTB}, "AMD", "training in transient execution"},
+		{"Zenbleed", 2023, ArchBug, SameThread, []uarch.StructKind{uarch.FPURegs}, "AMD", "vector register file leak"},
+		{"Reptar", 2023, ArchBug, SameThread, []uarch.StructKind{uarch.UopCache}, "Intel", "redundant-prefix machine state corruption"},
+		{"(M)WAIT", 2023, Transient, CrossCore, []uarch.StructKind{uarch.LLC, uarch.Interconn}, "Intel/AMD", "power-state side channel; no advisory for VM isolation"},
+		{"Speculation at fault", 2023, Transient, SameThread, []uarch.StructKind{uarch.L1D, uarch.BTB}, "Intel/AMD/Arm", "exception-path leakage"},
+		{"GhostRace", 2024, Transient, SameThread, []uarch.StructKind{uarch.BTB, uarch.L1D}, "Intel/AMD/Arm", "needs a shared kernel between cores; mitigated by core gapping"},
+		{"GoFetch", 2024, Transient, SameThread, []uarch.StructKind{uarch.Prefetch}, "Apple/Arm", "DMP vs constant-time crypto"},
+		{"CacheWarp", 2024, ArchBug, SameThread, []uarch.StructKind{uarch.L1D}, "AMD", "INVD-based fault injection vs SEV"},
+		{"TikTag", 2024, Transient, SameThread, []uarch.StructKind{uarch.Prefetch, uarch.L1D}, "Arm", "MTE tag oracle"},
+		{"InSpectre Gadget", 2024, Transient, SameThread, []uarch.StructKind{uarch.BTB}, "Intel", "residual Spectre-v2 surface"},
+		{"Leaky Address Masking", 2024, Transient, SameThread, []uarch.StructKind{uarch.DTLB, uarch.L1D}, "Intel", "non-canonical translation gadgets"},
+	}
+	sort.Slice(vulns, func(i, j int) bool {
+		if vulns[i].Year != vulns[j].Year {
+			return vulns[i].Year < vulns[j].Year
+		}
+		return vulns[i].Name < vulns[j].Name
+	})
+	return vulns
+}
+
+// Summary aggregates the catalogue the way the paper's Fig. 3 caption does.
+type Summary struct {
+	Total              int
+	Mitigated          int // removed from the TCB by core gapping
+	CrossCore          int // scope CrossCore
+	Remote             int
+	CrossCoreAdvisory  []string // cross-core leaks severe enough for cloud advisories
+	UnmitigatedNames   []string
+	PerYear            map[int]int
+	TransientCount     int
+	ArchBugCount       int
+	SameCoreExploitGap int // vulnerabilities NOT exploitable across cores
+}
+
+// Summarize computes the Fig. 3 aggregate over the catalogue.
+func Summarize(vulns []Vuln) Summary {
+	s := Summary{PerYear: make(map[int]int)}
+	for _, v := range vulns {
+		s.Total++
+		s.PerYear[v.Year]++
+		if v.Class == Transient {
+			s.TransientCount++
+		} else {
+			s.ArchBugCount++
+		}
+		switch v.Scope {
+		case CrossCore:
+			s.CrossCore++
+		case Remote:
+			s.Remote++
+		default:
+			s.SameCoreExploitGap++
+		}
+		if v.MitigatedByCoreGapping() {
+			s.Mitigated++
+		} else {
+			s.UnmitigatedNames = append(s.UnmitigatedNames, v.Name)
+		}
+		// Per the paper, CrossTalk is the only cross-core leak that
+		// warranted a vendor advisory and cloud-provider mitigation.
+		if v.Name == "CrossTalk" {
+			s.CrossCoreAdvisory = append(s.CrossCoreAdvisory, v.Name)
+		}
+	}
+	sort.Strings(s.UnmitigatedNames)
+	return s
+}
+
+// ByStructure indexes the catalogue by exploited structure.
+func ByStructure(vulns []Vuln) map[uarch.StructKind][]Vuln {
+	idx := make(map[uarch.StructKind][]Vuln)
+	for _, v := range vulns {
+		for _, k := range v.Structures {
+			idx[k] = append(idx[k], v)
+		}
+	}
+	return idx
+}
+
+// Exploitable reports whether vulnerability v is exploitable by an
+// attacker in domain attacker against victim state, given the physical
+// relationship between where the two domains execute.
+type Placement int
+
+// Physical placements of attacker relative to victim.
+const (
+	PlacedSameThread Placement = iota // time-sliced on one hardware thread
+	PlacedSiblingSMT                  // sibling hardware threads, same core
+	PlacedOtherCore                   // different physical cores, same socket
+	PlacedOffHost                     // network access only
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacedSameThread:
+		return "same-thread"
+	case PlacedSiblingSMT:
+		return "sibling-SMT"
+	case PlacedOtherCore:
+		return "other-core"
+	case PlacedOffHost:
+		return "off-host"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Exploitable reports whether v can leak given the attacker's placement.
+// A vulnerability reaches at most its scope: a sibling-SMT bug needs the
+// attacker on the sibling thread or closer; a same-thread bug needs
+// time-slicing on the very same thread; cross-core bugs work from any
+// core on the socket; remote bugs work from anywhere.
+func Exploitable(v Vuln, p Placement) bool {
+	switch v.Scope {
+	case SameThread:
+		return p == PlacedSameThread
+	case SiblingSMT:
+		return p == PlacedSameThread || p == PlacedSiblingSMT
+	case CrossCore:
+		return p != PlacedOffHost
+	case Remote:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,217 @@
+package vulncat
+
+import (
+	"testing"
+
+	"coregap/internal/uarch"
+)
+
+func TestCatalogueSizeAndSpan(t *testing.T) {
+	vulns := Catalogue()
+	// The paper cites 30+ vulnerabilities since 2018 (§1, §2.2).
+	if len(vulns) < 30 {
+		t.Fatalf("catalogue has %d entries, want >= 30", len(vulns))
+	}
+	for _, v := range vulns {
+		if v.Year < 2018 || v.Year > 2024 {
+			t.Errorf("%s: year %d outside 2018-2024", v.Name, v.Year)
+		}
+		if len(v.Structures) == 0 {
+			t.Errorf("%s: no structures listed", v.Name)
+		}
+		if v.Name == "" {
+			t.Error("unnamed vulnerability")
+		}
+	}
+}
+
+func TestCatalogueSorted(t *testing.T) {
+	vulns := Catalogue()
+	for i := 1; i < len(vulns); i++ {
+		a, b := vulns[i-1], vulns[i]
+		if a.Year > b.Year || (a.Year == b.Year && a.Name > b.Name) {
+			t.Fatalf("catalogue unsorted at %d: %s/%d before %s/%d", i, a.Name, a.Year, b.Name, b.Year)
+		}
+	}
+}
+
+func TestOnlyCrossTalkWarrantedAdvisory(t *testing.T) {
+	s := Summarize(Catalogue())
+	if len(s.CrossCoreAdvisory) != 1 || s.CrossCoreAdvisory[0] != "CrossTalk" {
+		t.Fatalf("cross-core advisory list = %v, want [CrossTalk]", s.CrossCoreAdvisory)
+	}
+}
+
+func TestVastMajorityMitigated(t *testing.T) {
+	s := Summarize(Catalogue())
+	if s.Mitigated < 30 {
+		t.Fatalf("core gapping mitigates %d, want >= 30 (paper: 30+ not cross-core)", s.Mitigated)
+	}
+	// The unmitigated set must be exactly the cross-core + remote ones.
+	if got := s.Total - s.Mitigated; got != s.CrossCore+s.Remote {
+		t.Fatalf("unmitigated %d != cross-core %d + remote %d", got, s.CrossCore, s.Remote)
+	}
+	if s.SameCoreExploitGap != s.Mitigated {
+		t.Fatalf("same-core count %d != mitigated %d", s.SameCoreExploitGap, s.Mitigated)
+	}
+}
+
+func TestMitigationRule(t *testing.T) {
+	for _, v := range Catalogue() {
+		want := v.Scope == SameThread || v.Scope == SiblingSMT
+		if got := v.MitigatedByCoreGapping(); got != want {
+			t.Errorf("%s: mitigated = %v, want %v (scope %v)", v.Name, got, want, v.Scope)
+		}
+	}
+}
+
+func TestGhostRaceMitigated(t *testing.T) {
+	// §2.2: GhostRace relies on multiple cores to *steer* execution but
+	// needs a shared kernel; it is catalogued same-thread and mitigated.
+	for _, v := range Catalogue() {
+		if v.Name == "GhostRace" {
+			if !v.MitigatedByCoreGapping() {
+				t.Fatal("GhostRace must be mitigated by core gapping (paper §2.2)")
+			}
+			return
+		}
+	}
+	t.Fatal("GhostRace missing from catalogue")
+}
+
+func TestCrossTalkUsesSharedStaging(t *testing.T) {
+	for _, v := range Catalogue() {
+		if v.Name != "CrossTalk" {
+			continue
+		}
+		if v.MitigatedByCoreGapping() {
+			t.Fatal("CrossTalk must NOT be mitigated by core gapping")
+		}
+		found := false
+		for _, k := range v.Structures {
+			if k == uarch.Staging {
+				found = true
+				if !k.Shared() {
+					t.Fatal("staging buffer must be a shared structure")
+				}
+			}
+		}
+		if !found {
+			t.Fatal("CrossTalk must exploit the staging buffer")
+		}
+		return
+	}
+	t.Fatal("CrossTalk missing")
+}
+
+func TestScopeStructureConsistency(t *testing.T) {
+	// A vulnerability whose ONLY structures are per-core cannot plausibly
+	// be scoped cross-core, except via snooping (explicitly noted).
+	for _, v := range Catalogue() {
+		if v.Scope != CrossCore || v.Name == "Snoop-assisted L1 sampling" {
+			continue
+		}
+		anyShared := false
+		for _, k := range v.Structures {
+			if k.Shared() {
+				anyShared = true
+			}
+		}
+		if !anyShared {
+			t.Errorf("%s: cross-core scope but no shared structure", v.Name)
+		}
+	}
+}
+
+func TestExploitablePlacementMatrix(t *testing.T) {
+	sameThread := Vuln{Name: "x", Scope: SameThread}
+	smt := Vuln{Name: "y", Scope: SiblingSMT}
+	cross := Vuln{Name: "z", Scope: CrossCore}
+	remote := Vuln{Name: "w", Scope: Remote}
+
+	cases := []struct {
+		v    Vuln
+		p    Placement
+		want bool
+	}{
+		{sameThread, PlacedSameThread, true},
+		{sameThread, PlacedSiblingSMT, false},
+		{sameThread, PlacedOtherCore, false},
+		{smt, PlacedSameThread, true},
+		{smt, PlacedSiblingSMT, true},
+		{smt, PlacedOtherCore, false},
+		{cross, PlacedSameThread, true},
+		{cross, PlacedOtherCore, true},
+		{cross, PlacedOffHost, false},
+		{remote, PlacedOffHost, true},
+		{remote, PlacedOtherCore, true},
+	}
+	for _, c := range cases {
+		if got := Exploitable(c.v, c.p); got != c.want {
+			t.Errorf("Exploitable(%v, %v) = %v, want %v", c.v.Scope, c.p, got, c.want)
+		}
+	}
+}
+
+func TestCoreGappingEquivalentToOtherCorePlacement(t *testing.T) {
+	// The design property: core gapping moves every distrusting attacker
+	// to PlacedOtherCore. Each vuln must then be exploitable iff it is
+	// one of the catalogue's cross-core (or remote) entries.
+	for _, v := range Catalogue() {
+		exploitableAfterGapping := Exploitable(v, PlacedOtherCore)
+		if exploitableAfterGapping == v.MitigatedByCoreGapping() {
+			t.Errorf("%s: gapping verdict inconsistent (exploitable=%v, mitigated=%v)",
+				v.Name, exploitableAfterGapping, v.MitigatedByCoreGapping())
+		}
+	}
+}
+
+func TestByStructureIndex(t *testing.T) {
+	idx := ByStructure(Catalogue())
+	if len(idx[uarch.BTB]) < 5 {
+		t.Fatalf("expected many BTB vulnerabilities, got %d", len(idx[uarch.BTB]))
+	}
+	if len(idx[uarch.Staging]) != 1 {
+		t.Fatalf("staging buffer vulns = %d, want 1 (CrossTalk)", len(idx[uarch.Staging]))
+	}
+	for k, vs := range idx {
+		for _, v := range vs {
+			found := false
+			for _, vk := range v.Structures {
+				if vk == k {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("index inconsistency: %s under %v", v.Name, k)
+			}
+		}
+	}
+}
+
+func TestSummaryPerYearNonEmpty(t *testing.T) {
+	s := Summarize(Catalogue())
+	// The "flood shows no sign of stopping": every year 2018-2024 has
+	// at least one disclosure.
+	for y := 2018; y <= 2024; y++ {
+		if s.PerYear[y] == 0 {
+			t.Errorf("no vulnerabilities catalogued for %d", y)
+		}
+	}
+	if s.TransientCount+s.ArchBugCount != s.Total {
+		t.Fatal("class counts do not add up")
+	}
+}
+
+func TestScopeStrings(t *testing.T) {
+	if SameThread.String() != "same-thread" || CrossCore.String() != "cross-core" ||
+		SiblingSMT.String() != "sibling-SMT" || Remote.String() != "remote" {
+		t.Fatal("scope strings wrong")
+	}
+	if Transient.String() != "transient" || ArchBug.String() != "CPU bug" {
+		t.Fatal("class strings wrong")
+	}
+	if PlacedOtherCore.String() != "other-core" {
+		t.Fatal("placement strings wrong")
+	}
+}
