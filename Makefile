@@ -1,0 +1,45 @@
+# Development entry points. `make check` is the full gate: vet, build,
+# race-enabled tests, a benchsuite smoke run and an end-to-end
+# determinism check (serial CSV output == 8-way parallel CSV output).
+
+GO ?= go
+
+.PHONY: all check vet build test race smoke determinism bench clean
+
+all: check
+
+check: vet build race smoke determinism
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The shape tests simulate tens of seconds of machine time; under the
+# race detector on a small host that exceeds go test's default 10m
+# package timeout, so raise it.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# A quick end-to-end run through the registry and the parallel runner.
+smoke:
+	$(GO) run ./cmd/benchsuite -exp table2 -parallel 4
+
+# The parallel runner must produce byte-identical artifacts to a serial
+# run for the same seed.
+determinism:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/benchsuite -exp table3 -parallel 1 -csv "$$tmp/serial" >/dev/null && \
+	$(GO) run ./cmd/benchsuite -exp table3 -parallel 8 -csv "$$tmp/parallel" >/dev/null && \
+	diff -r "$$tmp/serial" "$$tmp/parallel" && \
+	echo "determinism: serial and parallel CSVs identical"
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+clean:
+	$(GO) clean ./...

@@ -2,99 +2,125 @@ package coregap
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation (§5). Each benchmark regenerates its artifact through the
-// full machinery and reports the headline numbers as custom metrics, so
-// `go test -bench=. -benchmem` reproduces the paper's result set.
+// experiment registry and reports the headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the paper's
+// result set.
 //
-// Benchmarks use moderately sized sweeps to keep a full -bench=. run in
-// the minutes range; cmd/benchsuite runs the paper-sized versions.
+// Benchmarks run the registry's reduced profiles to keep a full -bench=.
+// run in the minutes range; cmd/benchsuite -full runs the paper-sized
+// versions.
 
 import (
 	"strings"
 	"testing"
 )
 
+// benchRun executes one registered experiment on the default worker pool
+// with the benchmark's fixed seed.
+func benchRun(b *testing.B, name string) *ExpReport {
+	b.Helper()
+	rep, err := RunExperiment(name, ExpProfile{Seed: 42}, NewExpRunner(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// figure extracts the idx'th artifact of a report as a Figure.
+func figure(b *testing.B, rep *ExpReport, idx int) *Figure {
+	b.Helper()
+	fig, ok := rep.Artifacts[idx].Item.(*Figure)
+	if !ok {
+		b.Fatalf("%s artifact %d is not a figure", rep.Experiment, idx)
+	}
+	return fig
+}
+
 // BenchmarkTable2NullRMMCall regenerates Table 2: null RMM call
 // latencies over the three transports.
 func BenchmarkTable2NullRMMCall(b *testing.B) {
-	var r Table2Result
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		r = RunTable2(42)
+		rep = benchRun(b, "table2")
 	}
-	b.ReportMetric(float64(r.Async), "async-ns")
-	b.ReportMetric(float64(r.Sync), "sync-ns")
-	b.ReportMetric(float64(r.SameCore), "samecore-ns")
+	b.ReportMetric(rep.Value("async", "ns"), "async-ns")
+	b.ReportMetric(rep.Value("sync", "ns"), "sync-ns")
+	b.ReportMetric(rep.Value("samecore", "ns"), "samecore-ns")
 }
 
 // BenchmarkTable3VirtualIPI regenerates Table 3: virtual IPI latency.
 func BenchmarkTable3VirtualIPI(b *testing.B) {
-	var r Table3Result
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		r = RunTable3(42)
+		rep = benchRun(b, "table3")
 	}
-	b.ReportMetric(r.NoDeleg.Micros(), "nodeleg-us")
-	b.ReportMetric(r.Delegated.Micros(), "deleg-us")
-	b.ReportMetric(r.SharedCore.Micros(), "shared-us")
+	b.ReportMetric(Duration(rep.Value("nodeleg", "vipi.mean.ns")).Micros(), "nodeleg-us")
+	b.ReportMetric(Duration(rep.Value("deleg", "vipi.mean.ns")).Micros(), "deleg-us")
+	b.ReportMetric(Duration(rep.Value("shared", "vipi.mean.ns")).Micros(), "shared-us")
 }
 
 // BenchmarkTable4ExitCounts regenerates Table 4: CoreMark-PRO exit
 // counts with and without interrupt delegation.
 func BenchmarkTable4ExitCounts(b *testing.B) {
-	var r Table4Result
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		r = RunTable4(42)
+		rep = benchRun(b, "table4")
 	}
-	b.ReportMetric(float64(r.InterruptExits[0]), "irq-exits-nodeleg")
-	b.ReportMetric(float64(r.InterruptExits[1]), "irq-exits-deleg")
-	b.ReportMetric(float64(r.TotalExits[0]), "total-exits-nodeleg")
-	b.ReportMetric(float64(r.TotalExits[1]), "total-exits-deleg")
+	b.ReportMetric(rep.Value("nodeleg", "exits.interrupt"), "irq-exits-nodeleg")
+	b.ReportMetric(rep.Value("deleg", "exits.interrupt"), "irq-exits-deleg")
+	b.ReportMetric(rep.Value("nodeleg", "exits.total"), "total-exits-nodeleg")
+	b.ReportMetric(rep.Value("deleg", "exits.total"), "total-exits-deleg")
 }
 
 // BenchmarkTable5Redis regenerates Table 5: the Redis benchmark under
 // both execution modes.
 func BenchmarkTable5Redis(b *testing.B) {
-	var r Table5Result
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		r = RunTable5(400*Millisecond, 42)
+		rep = benchRun(b, "table5")
 	}
-	for _, row := range r.Rows {
-		name := strings.ReplaceAll(row.Op.String()+"-"+row.Mode, " ", "-")
-		b.ReportMetric(row.Throughput, name+"-krps")
+	for _, t := range rep.Trials {
+		name := strings.ReplaceAll(strings.ReplaceAll(t.Spec.ID, "/", "-"), " ", "-")
+		b.ReportMetric(t.V("krps"), name+"-krps")
 	}
 }
 
 // BenchmarkFig3VulnTimeline regenerates Figure 3's catalogue and runs
 // the attack battery verifying every mitigation verdict.
 func BenchmarkFig3VulnTimeline(b *testing.B) {
-	var r Fig3Result
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		r = RunFig3(42)
+		rep = benchRun(b, "fig3")
 	}
-	b.ReportMetric(float64(r.Summary.Total), "vulns")
-	b.ReportMetric(float64(r.Summary.Mitigated), "mitigated")
-	b.ReportMetric(float64(len(r.ZeroDayLeaks)), "leaks-sharedcore")
-	b.ReportMetric(float64(len(r.CoreGappedLeaks)), "leaks-coregapped")
+	s := SummarizeVulns(VulnCatalogue())
+	b.ReportMetric(float64(s.Total), "vulns")
+	b.ReportMetric(float64(s.Mitigated), "mitigated")
+	b.ReportMetric(rep.Value("zero-day", "leaks"), "leaks-sharedcore")
+	b.ReportMetric(rep.Value("gapped", "leaks"), "leaks-coregapped")
 }
 
 // BenchmarkFig6CoreMarkScaling regenerates Figure 6 (reduced sweep) and
 // the §5.2 run-to-run latency statistic.
 func BenchmarkFig6CoreMarkScaling(b *testing.B) {
-	var r Fig6Result
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		r = RunFig6([]int{2, 4, 8, 16}, 300*Millisecond, 42)
+		rep = benchRun(b, "fig6")
 	}
-	b.ReportMetric(r.Figure.Series("shared-core").MaxY(), "shared-max-score")
-	b.ReportMetric(r.Figure.Series("core-gapped").MaxY(), "gapped-max-score")
-	b.ReportMetric(r.Figure.Series("busy-wait, no delegation").MaxY(), "busywait-max-score")
-	b.ReportMetric(r.RunToRunMean.Micros(), "run-to-run-us")
+	fig := figure(b, rep, 0)
+	b.ReportMetric(fig.Series("shared-core").MaxY(), "shared-max-score")
+	b.ReportMetric(fig.Series("core-gapped").MaxY(), "gapped-max-score")
+	b.ReportMetric(fig.Series("busy-wait, no delegation").MaxY(), "busywait-max-score")
+	b.ReportMetric(Duration(rep.Value("core-gapped@16", "runtorun.mean.ns")).Micros(), "run-to-run-us")
 }
 
 // BenchmarkFig7MultiVM regenerates Figure 7 (reduced sweep): aggregate
 // score for an increasing count of 4-core VMs.
 func BenchmarkFig7MultiVM(b *testing.B) {
-	var fig *Figure
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		fig = RunFig7(8, 200*Millisecond, 42)
+		rep = benchRun(b, "fig7")
 	}
+	fig := figure(b, rep, 0)
 	b.ReportMetric(fig.Series("shared-core").MaxY(), "shared-agg-score")
 	b.ReportMetric(fig.Series("core-gapped").MaxY(), "gapped-agg-score")
 }
@@ -102,17 +128,18 @@ func BenchmarkFig7MultiVM(b *testing.B) {
 // BenchmarkFig8NetPIPE regenerates Figure 8 (reduced sweep): NetPIPE
 // latency/throughput for virtio and SR-IOV under both modes.
 func BenchmarkFig8NetPIPE(b *testing.B) {
-	var r Fig8Result
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		r = RunFig8([]int{1024, 65536, 1 << 20}, 30, 42)
+		rep = benchRun(b, "fig8")
 	}
-	if y, ok := r.Latency.Series("SR-IOV shared-core").YAt(1024); ok {
+	lat, tput := figure(b, rep, 0), figure(b, rep, 1)
+	if y, ok := lat.Series("SR-IOV shared-core").YAt(1024); ok {
 		b.ReportMetric(y, "sriov-shared-lat-us")
 	}
-	if y, ok := r.Latency.Series("SR-IOV core-gapped").YAt(1024); ok {
+	if y, ok := lat.Series("SR-IOV core-gapped").YAt(1024); ok {
 		b.ReportMetric(y, "sriov-gapped-lat-us")
 	}
-	if y, ok := r.Throughput.Series("virtio core-gapped").YAt(65536); ok {
+	if y, ok := tput.Series("virtio core-gapped").YAt(16384); ok {
 		b.ReportMetric(y, "virtio-gapped-gbps")
 	}
 }
@@ -120,10 +147,11 @@ func BenchmarkFig8NetPIPE(b *testing.B) {
 // BenchmarkFig9IOzone regenerates Figure 9 (reduced sweep): sync virtio
 // block throughput vs record size.
 func BenchmarkFig9IOzone(b *testing.B) {
-	var fig *Figure
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		fig = RunFig9([]int{4 << 10, 256 << 10, 16 << 20}, 42)
+		rep = benchRun(b, "fig9")
 	}
+	fig := figure(b, rep, 0)
 	if y, ok := fig.Series("shared-core read").YAt(4 << 10); ok {
 		b.ReportMetric(y, "shared-4k-mibs")
 	}
@@ -138,10 +166,11 @@ func BenchmarkFig9IOzone(b *testing.B) {
 // BenchmarkFig10KernelBuild regenerates Figure 10 (reduced sweep):
 // kernel build time scaling on a virtio disk.
 func BenchmarkFig10KernelBuild(b *testing.B) {
-	var fig *Figure
+	var rep *ExpReport
 	for i := 0; i < b.N; i++ {
-		fig = RunFig10([]int{4, 8, 16}, 150, 42)
+		rep = benchRun(b, "fig10")
 	}
+	fig := figure(b, rep, 0)
 	if y, ok := fig.Series("shared-core").YAt(16); ok {
 		b.ReportMetric(y, "shared-16c-s")
 	}

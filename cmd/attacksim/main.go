@@ -13,7 +13,7 @@ import (
 	"fmt"
 
 	"coregap/internal/attack"
-	"coregap/internal/core"
+	"coregap/internal/exp"
 	"coregap/internal/sim"
 	"coregap/internal/uarch"
 	"coregap/internal/vulncat"
@@ -28,7 +28,7 @@ func main() {
 	flag.Parse()
 
 	if *timeline {
-		r := core.RunFig3(*seed)
+		r := exp.RunFig3(*seed)
 		fmt.Print(r.Timeline)
 		fmt.Println()
 	}

@@ -4,161 +4,164 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table2|table3|table4|table5|fig3|fig6|fig7|fig8|fig9|fig10] [-full] [-seed N]
+//	benchsuite [-exp all|table2|...|fig10|tdx] [-full] [-seed N]
+//	           [-parallel N] [-json] [-csv DIR] [-v]
 //
-// Without -full, reduced sweeps keep the total runtime in the minutes
-// range; -full runs the paper-sized configurations (Fig. 6 up to 63
-// dedicated cores).
+// Experiments come from the internal/exp registry; -exp list prints
+// them. Independent trials of each experiment run concurrently across
+// -parallel workers (default: GOMAXPROCS); results are bit-identical to
+// a serial run for the same seed, whatever the worker count. Without
+// -full, reduced sweeps keep the total runtime in the minutes range;
+// -full runs the paper-sized configurations (Fig. 6 up to 63 dedicated
+// cores).
 package main
 
 import (
-	"flag"
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
-	"coregap/internal/core"
-	"coregap/internal/sim"
+	"flag"
+
+	"coregap/internal/exp"
+	"coregap/internal/trace"
 )
 
 var (
-	exp    = flag.String("exp", "all", "experiment to run (all, table2..5, fig3, fig6..10, tdx)")
-	full   = flag.Bool("full", false, "paper-sized sweeps (slower)")
-	seed   = flag.Uint64("seed", 42, "simulation seed")
-	csvDir = flag.String("csv", "", "also write each artifact as CSV into this directory")
+	expFlag  = flag.String("exp", "all", "experiment to run (all, list, or a registry name)")
+	full     = flag.Bool("full", false, "paper-sized sweeps (slower)")
+	seed     = flag.Uint64("seed", 42, "simulation root seed")
+	parallel = flag.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS)")
+	jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report to stdout")
+	csvDir   = flag.String("csv", "", "also write each artifact as CSV into this directory")
+	verbose  = flag.Bool("v", false, "print per-trial run metadata")
 )
 
-// emit prints an artifact and, with -csv, writes it alongside.
-func emit(name string, artifact interface {
-	String() string
-	CSV() string
-}) {
-	fmt.Print(artifact.String())
+// emit writes an artifact's CSV rendering into -csv's directory. Unlike
+// printing, a failed write is a hard error: a partial CSV tree silently
+// poisons downstream plotting.
+func emit(name string, item interface{ CSV() string }) error {
 	if *csvDir == "" {
-		return
+		return nil
 	}
-	path := fmt.Sprintf("%s/%s.csv", *csvDir, name)
-	if err := os.WriteFile(path, []byte(artifact.CSV()), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		return fmt.Errorf("csv %s: %w", name, err)
 	}
+	path := filepath.Join(*csvDir, name+".csv")
+	if err := os.WriteFile(path, []byte(item.CSV()), 0o644); err != nil {
+		return fmt.Errorf("csv %s: %w", name, err)
+	}
+	return nil
+}
+
+// jsonTrial is one trial in the -json report.
+type jsonTrial struct {
+	trace.RunMeta
+	Values map[string]float64  `json:"values"`
+	Labels map[string][]string `json:"labels,omitempty"`
+}
+
+// jsonReport is one experiment in the -json report.
+type jsonReport struct {
+	Experiment string            `json:"experiment"`
+	Title      string            `json:"title"`
+	Seed       uint64            `json:"seed"`
+	Full       bool              `json:"full"`
+	Artifacts  map[string]string `json:"artifacts"` // name -> CSV
+	Lines      []string          `json:"lines,omitempty"`
+	WallNS     int64             `json:"wall_ns"`
+	Trials     []jsonTrial       `json:"trials"`
 }
 
 func main() {
 	flag.Parse()
-	want := strings.ToLower(*exp)
+	want := strings.ToLower(*expFlag)
+	if want == "list" {
+		for _, name := range exp.Names() {
+			e, _ := exp.Lookup(name)
+			fmt.Printf("%-8s %s\n", name, e.Title)
+		}
+		return
+	}
+
+	runner := exp.NewRunner(*parallel)
+	profile := exp.Profile{Seed: *seed, Full: *full}
+	var jsonReports []jsonReport
 	ran := 0
-	for _, e := range experiments {
-		if want != "all" && want != e.name {
+	for _, name := range exp.Names() {
+		if want != "all" && want != name {
 			continue
 		}
 		ran++
+		e, _ := exp.Lookup(name)
 		start := time.Now()
-		fmt.Printf("──── %s ────\n", e.title)
-		e.run()
-		fmt.Printf("(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		rep, err := runner.RunExperiment(e, profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+
+		if *jsonOut {
+			jr := jsonReport{
+				Experiment: rep.Experiment,
+				Title:      rep.Title,
+				Seed:       *seed,
+				Full:       *full,
+				Artifacts:  map[string]string{},
+				Lines:      rep.Lines,
+				WallNS:     wall.Nanoseconds(),
+			}
+			for _, a := range rep.Artifacts {
+				jr.Artifacts[a.Name] = a.Item.CSV()
+			}
+			for _, t := range rep.Trials {
+				jr.Trials = append(jr.Trials, jsonTrial{RunMeta: t.Meta, Values: t.Values, Labels: t.Labels})
+			}
+			jsonReports = append(jsonReports, jr)
+		} else {
+			fmt.Printf("──── %s ────\n", rep.Title)
+			for i, a := range rep.Artifacts {
+				if i > 0 {
+					fmt.Println()
+				}
+				fmt.Print(a.Item.String())
+			}
+			for _, l := range rep.Lines {
+				fmt.Print(l)
+				if !strings.HasSuffix(l, "\n") {
+					fmt.Println()
+				}
+			}
+			if rep.Paper != "" {
+				fmt.Println(rep.Paper)
+			}
+			if *verbose {
+				fmt.Print(trace.MetaTable(name+" trials", rep.Metas()).String())
+			}
+			fmt.Printf("(%s: %d trials in %.1fs)\n\n", name, len(rep.Trials), wall.Seconds())
+		}
+
+		for _, a := range rep.Artifacts {
+			if err := emit(a.Name, a.Item); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", *expFlag)
 		os.Exit(2)
 	}
-}
-
-type experiment struct {
-	name  string
-	title string
-	run   func()
-}
-
-var experiments = []experiment{
-	{"table2", "Table 2: null RMM call latencies", func() {
-		r := core.RunTable2(*seed)
-		emit("table2", r.Table)
-		fmt.Println("paper: async 2757.6 ns | sync 257.7 ns | same-core >12.8 us")
-	}},
-	{"table3", "Table 3: virtual IPI latency", func() {
-		r := core.RunTable3(*seed)
-		emit("table3", r.Table)
-		fmt.Println("paper: no-delegation 43.9 us | delegated 2.22 us | shared-core 3.85 us")
-	}},
-	{"table4", "Table 4: interrupt delegation effect on CoreMark-PRO exits", func() {
-		r := core.RunTable4(*seed)
-		emit("table4", r.Table)
-		fmt.Println("paper: interrupt-related 33954±161 → 390±3 | total 37712±504 → 1324±60")
-	}},
-	{"table5", "Table 5: Redis benchmark (50 clients, 512-byte objects)", func() {
-		window := 500 * sim.Millisecond
-		if *full {
-			window = 2 * sim.Second
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReports); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: json: %v\n", err)
+			os.Exit(1)
 		}
-		r := core.RunTable5(window, *seed)
-		emit("table5", r.Table)
-		fmt.Println("paper krps: SET 51.7→56.2 | GET 48.8→55.3 | LRANGE 11.6→14.5 (shared→gapped)")
-	}},
-	{"fig3", "Figure 3: vulnerability timeline + attack battery", func() {
-		r := core.RunFig3(*seed)
-		emit("fig3", r.Timeline)
-		fmt.Println()
-		fmt.Print(r.SecuritySummary())
-		fmt.Println("paper: only NetSpectre and CrossTalk demonstrated cross-core leaks in cloud VM settings")
-	}},
-	{"fig6", "Figure 6: CoreMark-PRO scaling", func() {
-		cores := []int{2, 4, 8, 16}
-		work := 300 * sim.Millisecond
-		if *full {
-			cores = []int{2, 4, 8, 16, 32, 48, 64}
-			work = sim.Second
-		}
-		r := core.RunFig6(cores, work, *seed)
-		emit("fig6", r.Figure)
-		fmt.Printf("run-to-run latency: %.2f ± %.2f us (paper: 26.18 ± 0.96 us)\n",
-			r.RunToRunMean.Micros(), r.RunToRunStddev.Micros())
-	}},
-	{"fig7", "Figure 7: scaling to multiple 4-core VMs", func() {
-		vms := 8
-		work := 200 * sim.Millisecond
-		if *full {
-			vms = 16
-			work = sim.Second
-		}
-		emit("fig7", core.RunFig7(vms, work, *seed))
-		fmt.Println("paper: aggregate scales linearly; 16 VMMs on one host core do not harm throughput")
-	}},
-	{"fig8", "Figure 8: NetPIPE latency and throughput", func() {
-		sizes := []int{64, 1024, 16384, 262144, 1 << 20}
-		rounds := 30
-		if *full {
-			sizes = []int{64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20}
-			rounds = 100
-		}
-		r := core.RunFig8(sizes, rounds, *seed)
-		emit("fig8-latency", r.Latency)
-		fmt.Println()
-		emit("fig8-throughput", r.Throughput)
-		fmt.Println("paper: virtio up to 2x latency / 30-70% lower throughput gapped;")
-		fmt.Println("       SR-IOV within 10-20 us of baseline, up to 5% higher throughput at large sizes")
-	}},
-	{"fig9", "Figure 9: IOzone sync throughput (virtio-blk)", func() {
-		recs := []int{4 << 10, 64 << 10, 1 << 20, 16 << 20}
-		if *full {
-			recs = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
-		}
-		emit("fig9", core.RunFig9(recs, *seed))
-		fmt.Println("paper: core-gapping matches baseline only for large (>10 MiB) I/Os")
-	}},
-	{"tdx", "§6.1 discussion: stage-2 maintenance under CCA vs TDX rules", func() {
-		r := core.RunTDXComparison(20000, 0.5, *seed)
-		emit("tdx", r.Table)
-		fmt.Println("paper §6.1: TDX-style host-owned insecure page tables need fewer cross-core RPCs")
-	}},
-	{"fig10", "Figure 10: Linux kernel build", func() {
-		cores := []int{4, 8, 16}
-		jobs := 150
-		if *full {
-			cores = []int{2, 4, 8, 16}
-			jobs = 400
-		}
-		emit("fig10", core.RunFig10(cores, jobs, *seed))
-		fmt.Println("paper: comparable scaling despite one fewer vCPU and virtio-disk contention")
-	}},
+	}
 }

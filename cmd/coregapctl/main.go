@@ -2,138 +2,164 @@
 // its metrics — a workbench for exploring how execution mode, delegation
 // and placement affect a workload.
 //
+// Scenarios are the same declarative ScenarioSpecs the experiment
+// registry expands to: the flags assemble one spec and hand it to the
+// internal/exp interpreter, so a coregapctl run is bit-identical to the
+// corresponding trial inside benchsuite.
+//
 // Usage:
 //
 //	coregapctl -mode gapped -workload coremark -cores 8 -vcpus 7 -work 500ms
 //	coregapctl -mode shared -workload iozone -record 65536
 //	coregapctl -mode busywait -workload coremark -cores 16
+//	coregapctl -list
+//	coregapctl -exp table3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
-	"coregap/internal/core"
+	"coregap/internal/exp"
 	"coregap/internal/guest"
 	"coregap/internal/sim"
 )
 
 var (
-	mode     = flag.String("mode", "gapped", "gapped | shared | nodeleg | busywait")
-	workload = flag.String("workload", "coremark", "coremark | coremarkpro | iozone | ipibench | kbuild")
+	mode     = flag.String("mode", "gapped", "gapped | shared | nodeleg | busywait | busywait-deleg")
+	workload = flag.String("workload", "coremark", "coremark | coremarkpro | iozone | ipibench | kbuild | netpipe | redis")
 	cores    = flag.Int("cores", 8, "physical cores on the node")
 	vcpus    = flag.Int("vcpus", 0, "guest vCPUs (default: cores-1 gapped, cores shared)")
 	work     = flag.Duration("work", 500*time.Millisecond, "compute per vCPU (coremark)")
 	record   = flag.Int("record", 64<<10, "record size in bytes (iozone)")
 	totalIO  = flag.Int64("total", 64<<20, "total bytes (iozone)")
 	jobs     = flag.Int("jobs", 100, "compile jobs (kbuild)")
-	rounds   = flag.Int("rounds", 200, "ping-pong rounds (ipibench)")
+	rounds   = flag.Int("rounds", 200, "round trips (ipibench, netpipe)")
+	msgBytes = flag.Int("bytes", 1024, "message/request size (netpipe, redis)")
 	seed     = flag.Uint64("seed", 1, "simulation seed")
+	expName  = flag.String("exp", "", "run a registered experiment by name instead of a single scenario")
+	list     = flag.Bool("list", false, "list the registered experiments and exit")
+	parallel = flag.Int("parallel", 0, "worker goroutines for -exp (0 = GOMAXPROCS)")
 	verbose  = flag.Bool("v", false, "dump the full metric set")
 )
 
 func main() {
 	flag.Parse()
 
-	var opts core.Options
-	switch *mode {
-	case "gapped":
-		opts = core.GappedDefault()
-	case "shared":
-		opts = core.Baseline()
-	case "nodeleg":
-		opts = core.GappedNoDelegation()
-	case "busywait":
-		opts = core.GappedBusyWait()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+	if *list {
+		for _, name := range exp.Names() {
+			e, _ := exp.Lookup(name)
+			fmt.Printf("%-8s %s\n", name, e.Title)
+		}
+		return
+	}
+	if *expName != "" {
+		runExperiment(*expName)
+		return
+	}
+
+	cfg, err := exp.ParseConfig(*mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
 		os.Exit(2)
 	}
 
 	n := *vcpus
 	if n == 0 {
 		n = *cores
-		if opts.Mode == core.Gapped {
+		if cfg != exp.ConfigBaseline {
 			n--
 		}
 	}
 
-	node := core.NewNode(*cores, opts, core.DefaultParams(), *seed)
-	var prog guest.Program
-	var report func(end sim.Time)
-	simWork := sim.Duration(work.Nanoseconds())
-
+	w := exp.Workload{VCPUs: n}
 	switch *workload {
 	case "coremark":
-		cm := guest.NewCoreMark(n, simWork)
-		prog = cm
-		report = func(end sim.Time) {
-			fmt.Printf("score: %.3f effective cores over %v\n", cm.Score(sim.Duration(end)), end)
-		}
+		w.Kind, w.Work = exp.WLCoreMark, sim.Duration(work.Nanoseconds())
 	case "coremarkpro":
-		cmp := guest.NewCoreMarkPro(n, simWork, func() sim.Time { return node.Eng.Now() })
-		prog = cmp
-		report = func(end sim.Time) {
-			fmt.Printf("CoreMark-PRO mark: %.3f (geomean of %d workloads) over %v\n",
-				cmp.Mark(), len(guest.ProWorkloads()), end)
-			for _, w := range guest.ProWorkloads() {
-				fmt.Printf("  %-28s %.3f\n", w.Name, cmp.PhaseScores()[w.Name])
-			}
-		}
+		w.Kind, w.Work = exp.WLCoreMarkPro, sim.Duration(work.Nanoseconds())
 	case "iozone":
-		z := guest.NewIOzone(*record, true, *totalIO)
-		n = 1
-		prog = z
-		report = func(end sim.Time) {
-			fmt.Printf("throughput: %.1f MiB/s over %v\n", z.Throughput(sim.Duration(end)), end)
-		}
+		w.Kind, w.Bytes, w.Total = exp.WLIOzone, *record, *totalIO
 	case "ipibench":
-		b := guest.NewIPIBench(*rounds)
-		n = 2
-		prog = b
-		report = func(end sim.Time) {
-			h := node.Met.Hist("vm0.vipi.latency")
-			fmt.Printf("vIPI latency: mean %v p99 %v over %d deliveries\n",
-				h.Mean(), h.Percentile(99), h.Count())
-		}
+		w.Kind, w.Rounds = exp.WLIPIBench, *rounds
 	case "kbuild":
-		kb := guest.NewKBuild(*jobs, n, 250*sim.Millisecond, node.Eng.Source("kbuild"))
-		prog = kb
-		report = func(end sim.Time) {
-			fmt.Printf("build: %d jobs in %v\n", kb.Finished(), end)
-		}
+		w.Kind, w.Jobs = exp.WLKBuild, *jobs
+	case "netpipe":
+		w.Kind, w.Dev, w.Bytes, w.Rounds = exp.WLNetPIPE, guest.SRIOVNet, *msgBytes, *rounds
+	case "redis":
+		w.Kind, w.Dev, w.Op, w.Clients, w.Bytes, w.Window =
+			exp.WLRedis, guest.SRIOVNet, guest.OpGet, 50, *msgBytes, 500*sim.Millisecond
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
 
-	vm, err := node.NewVM("vm0", n, prog)
+	spec := exp.ScenarioSpec{
+		ID:       *workload,
+		Config:   cfg,
+		Cores:    *cores,
+		Workload: w,
+		Seed:     *seed,
+	}
+	trial, err := exp.Execute(spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vm setup: %v\n", err)
+		fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
 		os.Exit(1)
 	}
 
-	end := node.RunUntilAllHalted(30 * 60 * sim.Second)
-	fmt.Printf("mode=%s workload=%s cores=%d vcpus=%d\n", opts.Mode, *workload, *cores, n)
-	report(end)
-
-	exits := node.Met.Counter("vm0.exits.total").Value()
-	irq := node.Met.Counter("vm0.exits.interrupt").Value()
-	fmt.Printf("exits: %d total, %d interrupt-related\n", exits, irq)
-	if h := node.Met.Hist("vm0.runtorun"); h.Count() > 0 {
-		fmt.Printf("run-to-run latency: mean %v p99 %v\n", h.Mean(), h.Percentile(99))
+	fmt.Printf("config=%s workload=%s cores=%d vcpus=%d seed=%d\n",
+		cfg, *workload, *cores, n, *seed)
+	keys := make([]string, 0, len(trial.Values))
+	for k := range trial.Values {
+		keys = append(keys, k)
 	}
-	if opts.Mode == core.Gapped {
-		fmt.Printf("dedicated cores: %v, host core: %v\n", vm.GuestCores(), vm.HostCore())
-		tok, err := node.Mon.Token(vm.Realm(), [32]byte{1})
-		if err == nil {
-			fmt.Printf("attestation: core-gapped=%v rim=%s...\n", tok.CoreGapped, tok.RIM.String()[:16])
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := trial.Values[k]
+		if strings.HasSuffix(k, ".ns") || k == "ns" {
+			fmt.Printf("  %-20s %v\n", k, sim.Duration(v))
+		} else {
+			fmt.Printf("  %-20s %.3f\n", k, v)
+		}
+	}
+	for k, labels := range trial.Labels {
+		fmt.Printf("  %-20s %s\n", k, strings.Join(labels, ", "))
+	}
+	fmt.Printf("  %s\n", trial.Meta)
+	if *verbose && trial.Metrics != nil {
+		fmt.Println()
+		fmt.Print(trial.Metrics.String())
+	}
+}
+
+// runExperiment executes one registered experiment, like a focused
+// benchsuite invocation.
+func runExperiment(name string) {
+	rep, err := exp.Run(name, exp.Profile{Seed: *seed}, exp.NewRunner(*parallel))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("──── %s ────\n", rep.Title)
+	for i, a := range rep.Artifacts {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(a.Item.String())
+	}
+	for _, l := range rep.Lines {
+		fmt.Print(l)
+		if !strings.HasSuffix(l, "\n") {
+			fmt.Println()
 		}
 	}
 	if *verbose {
-		fmt.Println()
-		fmt.Print(node.Met.String())
+		for _, m := range rep.Metas() {
+			fmt.Printf("  %s\n", m)
+		}
 	}
 }

@@ -30,6 +30,7 @@ package coregap
 import (
 	"coregap/internal/attack"
 	"coregap/internal/core"
+	"coregap/internal/exp"
 	"coregap/internal/guest"
 	"coregap/internal/sim"
 	"coregap/internal/trace"
@@ -120,29 +121,65 @@ const (
 	SRIOVNet  = guest.SRIOVNet
 )
 
-// Experiment runners: one per table and figure in the paper's evaluation.
+// The declarative experiment layer (internal/exp): every experiment of
+// the paper's evaluation is a named entry in a registry, expanded into
+// independent ScenarioSpec trials and executed on a deterministic
+// worker-pool Runner — bit-identical results at any parallelism.
+type (
+	// Experiment is one registered experiment: spec generator + reducer.
+	Experiment = exp.Experiment
+	// ScenarioSpec is one declarative, independently-executable trial.
+	ScenarioSpec = exp.ScenarioSpec
+	// ExpWorkload describes what a ScenarioSpec runs.
+	ExpWorkload = exp.Workload
+	// ExpConfig names an execution policy (baseline, gapped, ablations).
+	ExpConfig = exp.Config
+	// Trial is one executed scenario: named values + run metadata.
+	Trial = exp.Trial
+	// ExpRunner executes trials across a goroutine pool.
+	ExpRunner = exp.Runner
+	// ExpProfile selects root seed and reduced/full sweeps.
+	ExpProfile = exp.Profile
+	// ExpReport is a reduced experiment outcome (artifacts + trials).
+	ExpReport = exp.Report
+	// RunMeta is per-trial provenance (seed, config, simulated ns,
+	// event count, wall time).
+	RunMeta = trace.RunMeta
+)
+
+// Registry access and scenario execution.
 var (
-	RunTable2 = core.RunTable2
-	RunTable3 = core.RunTable3
-	RunTable4 = core.RunTable4
-	RunTable5 = core.RunTable5
-	RunFig3   = core.RunFig3
-	RunFig6   = core.RunFig6
-	RunFig7   = core.RunFig7
-	RunFig8   = core.RunFig8
-	RunFig9   = core.RunFig9
-	RunFig10  = core.RunFig10
+	Experiments      = exp.Names
+	LookupExperiment = exp.Lookup
+	RunExperiment    = exp.Run
+	NewExpRunner     = exp.NewRunner
+	ExecuteScenario  = exp.Execute
+)
+
+// Experiment runners: one per table and figure in the paper's evaluation
+// (thin wrappers over the registry's spec generators and reducers).
+var (
+	RunTable2 = exp.RunTable2
+	RunTable3 = exp.RunTable3
+	RunTable4 = exp.RunTable4
+	RunTable5 = exp.RunTable5
+	RunFig3   = exp.RunFig3
+	RunFig6   = exp.RunFig6
+	RunFig7   = exp.RunFig7
+	RunFig8   = exp.RunFig8
+	RunFig9   = exp.RunFig9
+	RunFig10  = exp.RunFig10
 )
 
 // Experiment result types.
 type (
-	Table2Result = core.Table2Result
-	Table3Result = core.Table3Result
-	Table4Result = core.Table4Result
-	Table5Result = core.Table5Result
-	Fig3Result   = core.Fig3Result
-	Fig6Result   = core.Fig6Result
-	Fig8Result   = core.Fig8Result
+	Table2Result = exp.Table2Result
+	Table3Result = exp.Table3Result
+	Table4Result = exp.Table4Result
+	Table5Result = exp.Table5Result
+	Fig3Result   = exp.Fig3Result
+	Fig6Result   = exp.Fig6Result
+	Fig8Result   = exp.Fig8Result
 )
 
 // Security side: the vulnerability catalogue and attack harness.

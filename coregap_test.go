@@ -93,7 +93,7 @@ func TestPublicAPIExperimentRunners(t *testing.T) {
 		t.Skip("runs several experiments")
 	}
 	// Smoke the remaining runners through the facade (shape tests live
-	// in internal/core).
+	// in internal/exp).
 	if r := RunTable2(7); r.Table == nil || r.Async == 0 {
 		t.Fatal("table2")
 	}
@@ -102,5 +102,30 @@ func TestPublicAPIExperimentRunners(t *testing.T) {
 	}
 	if r := RunFig3(7); r.Timeline == nil {
 		t.Fatal("fig3")
+	}
+}
+
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 11 {
+		t.Fatalf("experiments = %v", Experiments())
+	}
+	if _, ok := LookupExperiment("table2"); !ok {
+		t.Fatal("table2 not registered")
+	}
+	rep, err := RunExperiment("table2", ExpProfile{Seed: 7}, NewExpRunner(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Value("async", "ns") == 0 || len(rep.Metas()) != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// A scenario executed directly is identical to the same trial inside
+	// the experiment.
+	trial, err := ExecuteScenario(rep.Trials[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trial.V("ns") != rep.Value("async", "ns") {
+		t.Fatal("direct scenario execution diverged from the registry run")
 	}
 }

@@ -2,31 +2,44 @@
 // interacts with emulated virtio devices versus SR-IOV pass-through
 // (§5.3, Figs. 8-9).
 //
-// It runs a NetPIPE ping-pong over both NIC types and an IOzone sweep
-// over the virtio disk, under both execution modes, and prints the
-// crossovers: virtio pays for every exit, SR-IOV needs the host only for
-// interrupts, and block I/O reaches parity once requests are large
-// enough to amortize the exit path.
+// It drives the experiment registry (fig8, fig9) through a parallel
+// runner — every NetPIPE/IOzone configuration is an independent trial on
+// its own simulation engine — and prints the crossovers: virtio pays for
+// every exit, SR-IOV needs the host only for interrupts, and block I/O
+// reaches parity once requests are large enough to amortize the exit
+// path.
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"coregap"
 )
 
 func main() {
-	fmt.Println("=== NetPIPE one-way latency (us) ===")
-	r := coregap.RunFig8([]int{256, 4096, 65536}, 30, 5)
-	fmt.Print(r.Latency)
+	runner := coregap.NewExpRunner(0) // GOMAXPROCS workers
+	profile := coregap.ExpProfile{Seed: 5}
 
+	fig8, err := coregap.RunExperiment("fig8", profile, runner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("=== NetPIPE one-way latency (us) ===")
+	fmt.Print(fig8.Artifacts[0].Item)
 	fmt.Println()
 	fmt.Println("=== NetPIPE throughput (Gbit/s) ===")
-	fmt.Print(r.Throughput)
+	fmt.Print(fig8.Artifacts[1].Item)
 
+	fig9rep, err := coregap.RunExperiment("fig9", profile, runner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println()
-	fmt.Println("=== IOzone sync write throughput to virtio-blk (MiB/s) ===")
-	fig := coregap.RunFig9([]int{4 << 10, 64 << 10, 1 << 20, 16 << 20}, 5)
+	fmt.Println("=== IOzone sync I/O throughput to virtio-blk (MiB/s) ===")
+	fig := fig9rep.Artifacts[0].Item.(*coregap.Figure)
 	fmt.Print(fig)
 
 	fmt.Println()

@@ -1,0 +1,21 @@
+package exp
+
+// All eleven experiments of the paper's evaluation, registered in the
+// paper's presentation order (the order benchsuite prints with -exp all).
+func init() {
+	for _, e := range []*Experiment{
+		expTable2,
+		expTable3,
+		expTable4,
+		expTable5,
+		expFig3,
+		expFig6,
+		expFig7,
+		expFig8,
+		expFig9,
+		expTDX,
+		expFig10,
+	} {
+		Register(e)
+	}
+}

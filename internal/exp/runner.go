@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Runner executes independent trials across a pool of goroutines. Each
+// trial owns its own simulation engine and is seeded entirely from its
+// spec, so the result list is bit-identical to serial execution
+// regardless of worker count or scheduling: results are returned in
+// spec order, and nothing except RunMeta.Wall depends on the host.
+type Runner struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// NewRunner returns a runner with the given pool size (<= 0: GOMAXPROCS).
+func NewRunner(workers int) *Runner { return &Runner{Workers: workers} }
+
+func (r *Runner) workers() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// RunSpecs executes every spec and returns the trials in spec order.
+// All trials are attempted even when some fail; the joined error names
+// each failed trial.
+func (r *Runner) RunSpecs(specs []ScenarioSpec) ([]Trial, error) {
+	trials := make([]Trial, len(specs))
+	errs := make([]error, len(specs))
+	workers := r.workers()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			trials[i], errs[i] = Execute(s)
+		}
+		return trials, errors.Join(errs...)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				trials[i], errs[i] = Execute(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return trials, errors.Join(errs...)
+}
+
+// RunExperiment generates the experiment's specs for the profile,
+// executes them on the pool, and reduces the ordered results.
+func (r *Runner) RunExperiment(e *Experiment, p Profile) (*Report, error) {
+	specs := e.Specs(p)
+	trials, err := r.RunSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Name, err)
+	}
+	rep := e.Reduce(p, trials)
+	rep.Experiment = e.Name
+	rep.Title = e.Title
+	rep.Paper = e.Paper
+	rep.Trials = trials
+	for i := range rep.Trials {
+		rep.Trials[i].Meta.Experiment = e.Name
+	}
+	return rep, nil
+}
+
+// run is the serial-compatibility path used by the legacy Run* wrappers:
+// execute the given specs on the default pool and panic on failure, as
+// the pre-registry experiment functions did.
+func run(specs []ScenarioSpec) []Trial {
+	trials, err := (*Runner)(nil).RunSpecs(specs)
+	if err != nil {
+		panic(err)
+	}
+	return trials
+}

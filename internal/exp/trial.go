@@ -1,0 +1,497 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"coregap/internal/attack"
+
+	"coregap/internal/core"
+	"coregap/internal/gic"
+	"coregap/internal/guest"
+	"coregap/internal/host"
+	"coregap/internal/hw"
+	"coregap/internal/rpc"
+	"coregap/internal/sim"
+	"coregap/internal/trace"
+	"coregap/internal/uarch"
+	"coregap/internal/vmm"
+)
+
+// Trial is the result of executing one ScenarioSpec: named scalar
+// outcomes, optional string-valued outcomes, run metadata, and (for
+// node-based workloads) the full metric set for ad-hoc inspection.
+//
+// Everything except Meta.Wall and Metrics is a pure function of the
+// spec, which is what makes parallel execution bit-identical to serial.
+type Trial struct {
+	Spec   ScenarioSpec
+	Values map[string]float64
+	Labels map[string][]string
+	Meta   trace.RunMeta
+	// Metrics is the node's full metric set, nil for raw-transport
+	// trials. Reducers must not depend on it; it exists for workbench
+	// consumers (cmd/coregapctl -v).
+	Metrics *trace.Set
+}
+
+// V reports the named value (0 when absent).
+func (t Trial) V(key string) float64 { return t.Values[key] }
+
+// Dur reports the named value as a simulated duration.
+func (t Trial) Dur(key string) sim.Duration { return sim.Duration(t.Values[key]) }
+
+// Execute runs one scenario on a private simulation engine and reduces
+// it to a Trial. A modelling failure (workload stuck, horizon exceeded)
+// is returned as an error, never a panic, so a parallel runner can
+// surface it with the trial's identity attached.
+func Execute(spec ScenarioSpec) (t Trial, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trial %s [%s]: %v", spec.ID, spec.Config, r)
+		}
+	}()
+	t = Trial{
+		Spec:   spec,
+		Values: make(map[string]float64),
+		Labels: make(map[string][]string),
+		Meta: trace.RunMeta{
+			Trial:  spec.ID,
+			Config: string(spec.Config),
+			Seed:   spec.Seed,
+		},
+	}
+	start := time.Now()
+	switch spec.Workload.Kind {
+	case WLCoreMark:
+		err = t.runCoreMark(spec)
+	case WLCoreMarkPro:
+		err = t.runCoreMarkPro(spec)
+	case WLIPIBench:
+		err = t.runIPIBench(spec)
+	case WLNetPIPE:
+		err = t.runNetPIPE(spec)
+	case WLIOzone:
+		err = t.runIOzone(spec)
+	case WLRedis:
+		err = t.runRedis(spec)
+	case WLKBuild:
+		err = t.runKBuild(spec)
+	case WLNullRMMAsync:
+		err = t.runNullAsync(spec)
+	case WLNullRMMSync:
+		err = t.runNullSync(spec)
+	case WLNullRMMSameCore:
+		err = t.runNullSameCore(spec)
+	case WLBattery:
+		err = t.runBattery(spec)
+	case WLPTChurn:
+		err = t.runPTChurn(spec)
+	default:
+		err = fmt.Errorf("trial %s: unknown workload kind %q", spec.ID, spec.Workload.Kind)
+	}
+	t.Meta.Wall = time.Since(start)
+	if err != nil {
+		return t, fmt.Errorf("trial %s [%s]: %w", spec.ID, spec.Config, err)
+	}
+	return t, nil
+}
+
+// newNode builds the trial's machine and remembers its engine for the
+// run metadata.
+func (t *Trial) newNode(spec ScenarioSpec) *core.Node {
+	n := core.NewNode(spec.Cores, spec.Config.Options(), core.DefaultParams(), spec.Seed)
+	t.Metrics = n.Met
+	return n
+}
+
+// finishNode captures engine statistics and the standard per-VM counters.
+func (t *Trial) finishNode(n *core.Node) {
+	t.Meta.Simulated = sim.Duration(n.Eng.Now())
+	t.Meta.Events = n.Eng.EventsFired()
+	if n.Met.HasCounter("vm0.exits.total") {
+		t.Values["exits.total"] = float64(n.Met.Counter("vm0.exits.total").Value())
+		t.Values["exits.interrupt"] = float64(n.Met.Counter("vm0.exits.interrupt").Value())
+	}
+	if len(n.VMs()) > 0 && n.Opts.Mode == core.Gapped {
+		vm := n.VMs()[0]
+		if tok, err := n.Mon.Token(vm.Realm(), [32]byte{1}); err == nil {
+			t.Values["attest.coregapped"] = b2f(tok.CoreGapped)
+			t.Labels["attest.rim"] = []string{tok.RIM.String()}
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func horizonOr(spec ScenarioSpec, def sim.Duration) sim.Duration {
+	if spec.Horizon > 0 {
+		return spec.Horizon
+	}
+	return def
+}
+
+// runCoreMark boots Workload.VMs CoreMark-PRO guests of VCPUs vCPUs each
+// and reports the aggregate score plus the §5.2 run-to-run statistics.
+func (t *Trial) runCoreMark(spec ScenarioSpec) error {
+	w := spec.Workload
+	vms := w.VMs
+	if vms <= 0 {
+		vms = 1
+	}
+	n := t.newNode(spec)
+	marks := make([]*guest.CoreMark, vms)
+	for i := 0; i < vms; i++ {
+		marks[i] = guest.NewCoreMark(w.VCPUs, w.Work)
+		if _, err := n.NewVM(fmt.Sprintf("vm%d", i), w.VCPUs, marks[i]); err != nil {
+			return fmt.Errorf("coremark setup: %w", err)
+		}
+	}
+	end := n.RunUntilAllHalted(horizonOr(spec, sim.Duration(200)*w.Work))
+	agg := 0.0
+	for i, cm := range marks {
+		if !cm.Done() {
+			return fmt.Errorf("coremark vm%d did not finish within the horizon", i)
+		}
+		agg += cm.Score(sim.Duration(end))
+	}
+	t.Values["score"] = agg
+	if h := n.Met.Hist("vm0.runtorun"); h.Count() > 0 {
+		t.Values["runtorun.count"] = float64(h.Count())
+		t.Values["runtorun.mean.ns"] = float64(h.Mean())
+		t.Values["runtorun.stddev.ns"] = float64(h.Stddev())
+	}
+	t.finishNode(n)
+	return nil
+}
+
+// runCoreMarkPro runs the per-phase CoreMark-PRO harness (geomean mark).
+func (t *Trial) runCoreMarkPro(spec ScenarioSpec) error {
+	w := spec.Workload
+	n := t.newNode(spec)
+	cmp := guest.NewCoreMarkPro(w.VCPUs, w.Work, func() sim.Time { return n.Eng.Now() })
+	if _, err := n.NewVM("vm0", w.VCPUs, cmp); err != nil {
+		return err
+	}
+	n.RunUntilAllHalted(horizonOr(spec, sim.Duration(400)*w.Work))
+	t.Values["mark"] = cmp.Mark()
+	for name, score := range cmp.PhaseScores() {
+		t.Values["phase."+name] = score
+	}
+	t.finishNode(n)
+	return nil
+}
+
+// runIPIBench runs the two-vCPU IPI ping-pong and reports vIPI latency.
+func (t *Trial) runIPIBench(spec ScenarioSpec) error {
+	w := spec.Workload
+	n := t.newNode(spec)
+	b := guest.NewIPIBench(w.Rounds)
+	if _, err := n.NewVM("vm0", 2, b); err != nil {
+		return err
+	}
+	n.RunUntilAllHalted(horizonOr(spec, 30*sim.Second))
+	h := n.Met.Hist("vm0.vipi.latency")
+	if h.Count() == 0 {
+		return fmt.Errorf("ipibench delivered no vIPIs")
+	}
+	t.Values["vipi.count"] = float64(h.Count())
+	t.Values["vipi.mean.ns"] = float64(h.Mean())
+	t.Values["vipi.p99.ns"] = float64(h.Percentile(99))
+	t.finishNode(n)
+	return nil
+}
+
+// runNetPIPE runs one NetPIPE ping-pong configuration and reports the
+// mean round-trip time.
+func (t *Trial) runNetPIPE(spec ScenarioSpec) error {
+	w := spec.Workload
+	n := t.newNode(spec)
+	np := guest.NewNetPIPE(w.Dev, w.Bytes, w.Rounds)
+	vm, err := n.NewVM("vm0", 1, np)
+	if err != nil {
+		return err
+	}
+	peer := vmm.NewPeer(n.Eng, vm.VMM.Costs(), n.Met)
+	hist := n.Met.Hist("netpipe.rtt")
+	pp := vmm.NewPingPong(peer, w.Bytes, w.Rounds, hist, nil)
+	switch w.Dev {
+	case guest.VirtioNet:
+		peer.Connect(vm.VMM.Net.DeliverToGuest)
+		vm.VMM.Net.ConnectPeer(pp.OnEcho)
+	default:
+		peer.Connect(vm.VMM.VF.DeliverToGuest)
+		vm.VMM.VF.ConnectPeer(pp.OnEcho)
+	}
+	// Let the VM boot (hotplug handoff takes ~2 ms) before load starts.
+	n.Eng.After(5*sim.Millisecond, "start-netpipe", pp.Start)
+	n.RunUntilAllHalted(horizonOr(spec, 120*sim.Second))
+	// The guest halts after transmitting its final echo; drain the wire
+	// so the client sees it.
+	n.Eng.RunFor(5 * sim.Millisecond)
+	if pp.Done() < w.Rounds {
+		return fmt.Errorf("netpipe: only %d/%d rounds (%v %dB)", pp.Done(), w.Rounds, w.Dev, w.Bytes)
+	}
+	t.Values["rtt.ns"] = float64(hist.Mean())
+	t.finishNode(n)
+	return nil
+}
+
+// runIOzone runs the synchronous O_DIRECT workload against virtio-blk.
+func (t *Trial) runIOzone(spec ScenarioSpec) error {
+	w := spec.Workload
+	n := t.newNode(spec)
+	z := guest.NewIOzone(w.Bytes, w.Write, w.Total)
+	if _, err := n.NewVM("vm0", 1, z); err != nil {
+		return err
+	}
+	startT := n.Eng.Now()
+	end := n.RunUntilAllHalted(horizonOr(spec, 600*sim.Second))
+	if z.Moved() < w.Total {
+		return fmt.Errorf("iozone stalled: %d/%d bytes (record %d)", z.Moved(), w.Total, w.Bytes)
+	}
+	t.Values["mibs"] = z.Throughput(end.Sub(startT))
+	t.finishNode(n)
+	return nil
+}
+
+// runRedis drives the closed-loop Redis load: boot, 100 ms warm-up, then
+// a steady-state measurement window. Latency percentiles cover the whole
+// run (the warm-up is a small fraction of the window and biases all
+// configurations identically).
+func (t *Trial) runRedis(spec ScenarioSpec) error {
+	w := spec.Workload
+	n := t.newNode(spec)
+	r := guest.NewRedis(w.Dev)
+	vm, err := n.NewVM("vm0", w.VCPUs, r)
+	if err != nil {
+		return err
+	}
+	peer := vmm.NewPeer(n.Eng, vm.VMM.Costs(), n.Met)
+	peer.Connect(vm.VMM.VF.DeliverToGuest)
+	hist := n.Met.Hist("redis.latency")
+	lg := vmm.NewLoadGen(peer, w.Clients, w.Bytes,
+		func(c int) int { return guest.EncodeOpTag(w.Op, c) }, hist)
+	vm.VMM.VF.ConnectPeer(lg.OnResponse)
+
+	n.Eng.After(5*sim.Millisecond, "start-load", lg.Start)
+	n.Eng.RunUntil(sim.Time(105 * sim.Millisecond))
+	warmupServed := lg.Served()
+	n.Eng.RunUntil(sim.Time(105*sim.Millisecond + w.Window))
+	served := lg.Served() - warmupServed
+	lg.Stop()
+
+	t.Values["krps"] = float64(served) / w.Window.Seconds() / 1000
+	t.Values["lat.mean.ns"] = float64(hist.Mean())
+	t.Values["lat.p95.ns"] = float64(hist.Percentile(95))
+	t.Values["lat.p99.ns"] = float64(hist.Percentile(99))
+	t.finishNode(n)
+	return nil
+}
+
+// runKBuild runs the parallel kernel build and reports its wall time.
+func (t *Trial) runKBuild(spec ScenarioSpec) error {
+	w := spec.Workload
+	n := t.newNode(spec)
+	kb := guest.NewKBuild(w.Jobs, w.VCPUs, 250*sim.Millisecond, n.Eng.Source("kbuild"))
+	if _, err := n.NewVM("vm0", w.VCPUs, kb); err != nil {
+		return err
+	}
+	end := n.RunUntilAllHalted(horizonOr(spec, 3600*sim.Second))
+	if kb.Finished() < w.Jobs {
+		return fmt.Errorf("kbuild incomplete: %d/%d jobs", kb.Finished(), w.Jobs)
+	}
+	t.Values["build.ns"] = float64(end)
+	t.finishNode(n)
+	return nil
+}
+
+// runNullAsync measures the full Fig. 4 asynchronous null-call path:
+// mailbox post, RMM pickup on the remote core, completion, exit IPI,
+// wake-up thread scan, vCPU thread wake.
+func (t *Trial) runNullAsync(spec ScenarioSpec) error {
+	p := core.DefaultParams()
+	rounds := spec.Workload.Rounds
+	eng := sim.NewEngine(spec.Seed)
+	mach := hw.NewMachine(eng, hw.DefaultConfig(2))
+	kern := host.NewKernel(mach, gic.NewDistributor(mach), trace.NewSet())
+	mb := rpc.NewMailbox(eng, "null")
+	hist := &trace.Hist{}
+
+	hostCore, rmmCore := hw.CoreID(0), hw.CoreID(1)
+	// The RMM side: a polling loop on the dedicated core that answers
+	// null calls immediately and raises the exit IPI.
+	rmmPickup := func() {
+		eng.After(p.Transport.PickupLatency(), "pickup", func() {
+			if _, ok := mb.TryTake(); ok {
+				mb.Complete("null-return", p.Transport.Prop)
+				mach.SendIPI(rmmCore, hostCore, hw.IPIGuestExit)
+			}
+		})
+	}
+	caller := kern.NewThread("vcpu-null", host.ClassFIFO, hostCore)
+	wakeup := kern.NewThread("wakeup", host.ClassFIFO, hostCore)
+	var postedAt sim.Time
+	done := 0
+	var post func()
+	post = func() {
+		postedAt = eng.Now()
+		mb.Post("null-call", p.Transport.Prop)
+		rmmPickup()
+	}
+	kern.RegisterIRQ(hw.IPIGuestExit, func(c hw.CoreID) {
+		kern.Submit(wakeup, "scan", p.SchedWake+p.WakeupScan, func() {
+			if _, ok := mb.TryResponse(); !ok {
+				return
+			}
+			// Wake the blocked caller (Fig. 4 step 5); the call returns
+			// in its context.
+			kern.Submit(caller, "return", p.SchedWake, func() {
+				hist.Observe(eng.Now().Sub(postedAt))
+				done++
+				if done < rounds {
+					post()
+				}
+			})
+		})
+	})
+	post()
+	eng.Run()
+	if hist.Count() < rounds {
+		return fmt.Errorf("async null calls stalled at %d/%d", hist.Count(), rounds)
+	}
+	t.Values["ns"] = float64(hist.Mean())
+	t.Meta.Simulated = sim.Duration(eng.Now())
+	t.Meta.Events = eng.EventsFired()
+	return nil
+}
+
+// runNullSync measures the busy-wait synchronous mailbox round trip.
+func (t *Trial) runNullSync(spec ScenarioSpec) error {
+	p := core.DefaultParams()
+	rounds := spec.Workload.Rounds
+	eng := sim.NewEngine(spec.Seed)
+	mb := rpc.NewMailbox(eng, "sync")
+	hist := &trace.Hist{}
+	done := 0
+	var post func()
+	post = func() {
+		start := eng.Now()
+		mb.Post("call", p.Transport.Prop)
+		eng.After(p.Transport.PickupLatency(), "pickup", func() {
+			if _, ok := mb.TryTake(); ok {
+				mb.Complete("ret", p.Transport.Prop)
+				eng.After(p.Transport.PickupLatency(), "resp", func() {
+					if _, ok := mb.TryResponse(); ok {
+						hist.Observe(eng.Now().Sub(start))
+						done++
+						if done < rounds {
+							post()
+						}
+					}
+				})
+			}
+		})
+	}
+	post()
+	eng.Run()
+	if hist.Count() < rounds {
+		return fmt.Errorf("sync null calls stalled at %d/%d", hist.Count(), rounds)
+	}
+	t.Values["ns"] = float64(hist.Mean())
+	t.Meta.Simulated = sim.Duration(eng.Now())
+	t.Meta.Events = eng.EventsFired()
+	return nil
+}
+
+// runNullSameCore computes the same-core EL3 null-call component: two
+// world switches plus the deployed transient-execution mitigation
+// flushes — the paper's >12.8 µs lower bound.
+func (t *Trial) runNullSameCore(spec ScenarioSpec) error {
+	p := core.DefaultParams()
+	cs := uarch.NewCoreState()
+	src := sim.NewSource(spec.Seed)
+	cs.Touch(uarch.DomainHost, 0.5, 0, src)
+	flushIn := cs.FlushMitigations(uarch.DefaultFlushCosts())
+	cs.Touch(uarch.DomainMonitor, 0.3, 0, src)
+	flushOut := cs.FlushMitigations(uarch.DefaultFlushCosts())
+	worldSwitches := 2 * hw.DefaultConfig(1).WorldSwitchCost
+	t.Values["ns"] = float64(flushIn + flushOut + worldSwitches + p.EL3Dispatch)
+	return nil
+}
+
+// runBattery runs the transient-execution attack battery under the
+// spec's scheduling and records which vulnerabilities leaked.
+func (t *Trial) runBattery(spec ScenarioSpec) error {
+	h := attack.NewHarness(spec.Seed, 2, spec.Config.Options().PartitionLLC)
+	res := h.RunBattery(spec.Workload.Sched)
+	leaks := res.LeakedVulns()
+	t.Values["leaks"] = float64(len(leaks))
+	t.Labels["leaks"] = leaks
+	return nil
+}
+
+// runPTChurn drives the §6.1 stage-2 maintenance churn: Ops mapping
+// updates with Frac of them to unprotected (shared) memory, under CCA
+// rules (every update is a cross-core RPC) or TDX rules (unprotected
+// updates edit the host-owned insecure table locally).
+func (t *Trial) runPTChurn(spec ScenarioSpec) error {
+	w := spec.Workload
+	p := core.DefaultParams()
+	eng := sim.NewEngine(spec.Seed)
+	src := eng.Source("churn")
+	mb := rpc.NewMailbox(eng, "rtt")
+	var rpcs uint64
+	var done int
+	var next func()
+	next = func() {
+		if done >= w.Ops {
+			return
+		}
+		done++
+		shared := src.Float64() < w.Frac
+		if w.TDXStyle && shared {
+			// Host edits its own EPT: purely local.
+			eng.After(hostPTEUpdate, "ept-update", next)
+			return
+		}
+		// Synchronous RPC to the monitor on the dedicated core.
+		rpcs++
+		mb.Post("rtt-op", p.Transport.Prop)
+		eng.After(p.Transport.PickupLatency(), "rtt-pickup", func() {
+			if _, ok := mb.TryTake(); !ok {
+				return
+			}
+			eng.After(monitorRTTWork, "rtt-work", func() {
+				mb.Complete("ok", p.Transport.Prop)
+				eng.After(p.Transport.PickupLatency(), "rtt-resp", func() {
+					if _, ok := mb.TryResponse(); ok {
+						next()
+					}
+				})
+			})
+		})
+	}
+	next()
+	eng.Run()
+	if done < w.Ops {
+		return fmt.Errorf("ptchurn stalled at %d/%d ops", done, w.Ops)
+	}
+	t.Values["total.ns"] = float64(eng.Now())
+	t.Values["perop.ns"] = float64(eng.Now()) / float64(w.Ops)
+	t.Values["rpcs"] = float64(rpcs)
+	t.Meta.Simulated = sim.Duration(eng.Now())
+	t.Meta.Events = eng.EventsFired()
+	return nil
+}
+
+// hostPTEUpdate is the host's local cost to edit its own (insecure) EPT.
+const hostPTEUpdate = 90 * sim.Nanosecond
+
+// monitorRTTWork is the monitor's validation+update work per RTT call.
+const monitorRTTWork = 120 * sim.Nanosecond

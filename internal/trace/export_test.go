@@ -27,6 +27,67 @@ func TestFigureCSV(t *testing.T) {
 	}
 }
 
+func TestFigureCSVRoundTrip(t *testing.T) {
+	f := NewFigure("F", "t", "message bytes", "Gbit/s")
+	f.Series("virtio shared-core").Add(64, 0.125)
+	f.Series("virtio shared-core").Add(1024, 1.75)
+	f.Series(`SR-IOV "fast", gapped`).Add(64, 0.5)
+	f.Series("empty series")
+	csv := f.CSV()
+
+	parsed, err := ParseFigureCSV(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed.CSV(); got != csv {
+		t.Fatalf("round trip:\n got %q\nwant %q", got, csv)
+	}
+	if parsed.XLabel != "message bytes" {
+		t.Fatalf("xlabel = %q", parsed.XLabel)
+	}
+	if y, ok := parsed.Series(`SR-IOV "fast", gapped`).YAt(64); !ok || y != 0.5 {
+		t.Fatalf("quoted series point = %v, %v", y, ok)
+	}
+	// The series with no points must survive as a column.
+	if labels := parsed.Labels(); len(labels) != 3 || labels[2] != "empty series" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestParseFigureCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"cores,a\nnot-a-number,1\n",
+		"cores,a\n2,nan-ish-not\n",
+		"cores,a\n2,1,extra\n",
+	} {
+		if _, err := ParseFigureCSV(bad); err == nil {
+			t.Errorf("ParseFigureCSV(%q): want error", bad)
+		}
+	}
+}
+
+func TestTableCSVRoundTrip(t *testing.T) {
+	tb := NewTable("T", "t", "Latency", "Notes")
+	tb.AddRow("sync", "258 ns", `has "quotes"`)
+	tb.AddRow("async, batched", "1.2 us", "")
+	csv := tb.CSV()
+
+	parsed, err := ParseTableCSV(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed.CSV(); got != csv {
+		t.Fatalf("round trip:\n got %q\nwant %q", got, csv)
+	}
+	if c := parsed.Cell("async, batched", "Latency"); c != "1.2 us" {
+		t.Fatalf("cell = %q", c)
+	}
+	if _, err := ParseTableCSV("nope,a\n"); err == nil {
+		t.Fatal("want header error")
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tb := NewTable("T", "t", "Latency", "Notes")
 	tb.AddRow("sync", "258 ns", `has "quotes"`)

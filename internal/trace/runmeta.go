@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"coregap/internal/sim"
+)
+
+// RunMeta records the provenance of one simulation trial: what ran, how
+// it was seeded, and how much simulated and wall-clock time it consumed.
+// The experiment runner attaches one to every trial result so that
+// reproduced artifacts can always be traced back to their inputs.
+type RunMeta struct {
+	Experiment string `json:"experiment,omitempty"`
+	Trial      string `json:"trial"`
+	Config     string `json:"config"`
+	Seed       uint64 `json:"seed"`
+	// Simulated is the trial's final simulation clock.
+	Simulated sim.Duration `json:"simulated_ns"`
+	// Events is the number of discrete events the engine fired.
+	Events uint64 `json:"events"`
+	// Wall is host wall-clock time spent executing the trial. It is the
+	// only non-deterministic field and never feeds into artifacts.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+func (m RunMeta) String() string {
+	return fmt.Sprintf("%s/%s seed=%d sim=%v events=%d wall=%v",
+		m.Config, m.Trial, m.Seed, m.Simulated, m.Events, m.Wall)
+}
+
+// MetaTable renders a set of run metadata records as a Table, one row per
+// trial — the shape benchsuite prints under -v and exports with -csv.
+func MetaTable(name string, metas []RunMeta) *Table {
+	tb := NewTable(name, "per-trial run metadata",
+		"config", "seed", "simulated", "events", "wall")
+	for _, m := range metas {
+		tb.AddRow(m.Trial,
+			m.Config,
+			fmt.Sprintf("%d", m.Seed),
+			m.Simulated.String(),
+			fmt.Sprintf("%d", m.Events),
+			m.Wall.String())
+	}
+	return tb
+}
