@@ -1,14 +1,16 @@
 # Development entry points. `make check` is the full gate: vet, build,
-# race-enabled tests, a benchsuite smoke run and an end-to-end
-# determinism check (serial CSV output == 8-way parallel CSV output).
+# race-enabled tests, a benchsuite smoke run, the perf smoke
+# (microbenchmarks + allocation gates -> BENCH_3.json, no thresholds)
+# and an end-to-end determinism check (serial CSV output == 8-way
+# parallel CSV output).
 
 GO ?= go
 
-.PHONY: all check vet build test race smoke determinism bench clean
+.PHONY: all check vet build test race smoke determinism bench bench-full bench-paper profile clean
 
 all: check
 
-check: vet build race smoke determinism
+check: vet build race smoke bench determinism
 
 vet:
 	$(GO) vet ./...
@@ -38,8 +40,26 @@ determinism:
 	diff -r "$$tmp/serial" "$$tmp/parallel" && \
 	echo "determinism: serial and parallel CSVs identical"
 
+# Perf trajectory: engine microbenchmarks + a fixed benchsuite smoke
+# run, recorded in BENCH_3.json. A smoke, not a threshold — except the
+# zero-alloc gates, which fail the build on regression. bench-full also
+# re-measures the full-suite wall clock (minutes).
 bench:
+	sh scripts/bench.sh
+
+bench-full:
+	BENCH_FULL=1 sh scripts/bench.sh
+
+# The historical whole-repo benchmark sweep (one per paper artifact).
+bench-paper:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Start perf work from a pprof, not a guess: profiles the heaviest
+# registry experiment and leaves cpu.pprof/mem.pprof for
+# `go tool pprof`.
+profile:
+	$(GO) run ./cmd/benchsuite -exp fig6 -parallel 1 -cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+	@echo "profile: wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
 
 clean:
 	$(GO) clean ./...

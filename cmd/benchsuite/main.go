@@ -6,14 +6,19 @@
 //
 //	benchsuite [-exp all|table2|...|fig10|tdx] [-full] [-seed N]
 //	           [-parallel N] [-json] [-csv DIR] [-v]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments come from the internal/exp registry; -exp list prints
-// them. Independent trials of each experiment run concurrently across
-// -parallel workers (default: GOMAXPROCS); results are bit-identical to
-// a serial run for the same seed, whatever the worker count. Without
-// -full, reduced sweeps keep the total runtime in the minutes range;
-// -full runs the paper-sized configurations (Fig. 6 up to 63 dedicated
-// cores).
+// them. All selected experiments' trials are flattened onto a single
+// work-stealing pool of -parallel workers (default: GOMAXPROCS), so a
+// long trial in one experiment never idles workers that could run the
+// next experiment's trials; results are bit-identical to a serial run
+// for the same seed, whatever the worker count. Without -full, reduced
+// sweeps keep the total runtime in the minutes range; -full runs the
+// paper-sized configurations (Fig. 6 up to 63 dedicated cores).
+//
+// -cpuprofile and -memprofile write standard pprof profiles of the run
+// (`go tool pprof` reads them), so performance work starts from data.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,13 +38,15 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment to run (all, list, or a registry name)")
-	full     = flag.Bool("full", false, "paper-sized sweeps (slower)")
-	seed     = flag.Uint64("seed", 42, "simulation root seed")
-	parallel = flag.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS)")
-	jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report to stdout")
-	csvDir   = flag.String("csv", "", "also write each artifact as CSV into this directory")
-	verbose  = flag.Bool("v", false, "print per-trial run metadata")
+	expFlag    = flag.String("exp", "all", "experiment to run (all, list, or a registry name)")
+	full       = flag.Bool("full", false, "paper-sized sweeps (slower)")
+	seed       = flag.Uint64("seed", 42, "simulation root seed")
+	parallel   = flag.Int("parallel", 0, "worker goroutines shared across all experiments (0 = GOMAXPROCS)")
+	jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report to stdout")
+	csvDir     = flag.String("csv", "", "also write each artifact as CSV into this directory")
+	verbose    = flag.Bool("v", false, "print per-trial run metadata")
+	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 )
 
 // emit writes an artifact's CSV rendering into -csv's directory. Unlike
@@ -72,8 +81,18 @@ type jsonReport struct {
 	Full       bool              `json:"full"`
 	Artifacts  map[string]string `json:"artifacts"` // name -> CSV
 	Lines      []string          `json:"lines,omitempty"`
-	WallNS     int64             `json:"wall_ns"`
+	WorkNS     int64             `json:"work_ns"` // summed per-trial wall clock
 	Trials     []jsonTrial       `json:"trials"`
+}
+
+// fail stops any active CPU profile before exiting non-zero, so a
+// failed run still leaves a readable profile behind.
+func fail(code int, format string, args ...any) {
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	fmt.Fprintf(os.Stderr, format, args...)
+	os.Exit(code)
 }
 
 func main() {
@@ -87,24 +106,39 @@ func main() {
 		return
 	}
 
-	runner := exp.NewRunner(*parallel)
-	profile := exp.Profile{Seed: *seed, Full: *full}
-	var jsonReports []jsonReport
-	ran := 0
+	var selected []*exp.Experiment
 	for _, name := range exp.Names() {
 		if want != "all" && want != name {
 			continue
 		}
-		ran++
 		e, _ := exp.Lookup(name)
-		start := time.Now()
-		rep, err := runner.RunExperiment(e, profile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
-			os.Exit(1)
-		}
-		wall := time.Since(start)
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		fail(2, "unknown experiment %q (try -exp list)\n", *expFlag)
+	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(1, "benchsuite: cpuprofile: %v\n", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(1, "benchsuite: cpuprofile: %v\n", err)
+		}
+	}
+
+	runner := exp.NewRunner(*parallel)
+	profile := exp.Profile{Seed: *seed, Full: *full}
+	start := time.Now()
+	reports, err := runner.RunExperiments(selected, profile)
+	if err != nil {
+		fail(1, "benchsuite: %v\n", err)
+	}
+	wall := time.Since(start)
+
+	var jsonReports []jsonReport
+	for _, rep := range reports {
 		if *jsonOut {
 			jr := jsonReport{
 				Experiment: rep.Experiment,
@@ -113,7 +147,7 @@ func main() {
 				Full:       *full,
 				Artifacts:  map[string]string{},
 				Lines:      rep.Lines,
-				WallNS:     wall.Nanoseconds(),
+				WorkNS:     rep.Work.Nanoseconds(),
 			}
 			for _, a := range rep.Artifacts {
 				jr.Artifacts[a.Name] = a.Item.CSV()
@@ -140,28 +174,39 @@ func main() {
 				fmt.Println(rep.Paper)
 			}
 			if *verbose {
-				fmt.Print(trace.MetaTable(name+" trials", rep.Metas()).String())
+				fmt.Print(trace.MetaTable(rep.Experiment+" trials", rep.Metas()).String())
 			}
-			fmt.Printf("(%s: %d trials in %.1fs)\n\n", name, len(rep.Trials), wall.Seconds())
+			fmt.Printf("(%s: %d trials in %.1fs)\n\n", rep.Experiment, len(rep.Trials), rep.Work.Seconds())
 		}
 
 		for _, a := range rep.Artifacts {
 			if err := emit(a.Name, a.Item); err != nil {
-				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
-				os.Exit(1)
+				fail(1, "benchsuite: %v\n", err)
 			}
 		}
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", *expFlag)
-		os.Exit(2)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonReports); err != nil {
-			fmt.Fprintf(os.Stderr, "benchsuite: json: %v\n", err)
-			os.Exit(1)
+			fail(1, "benchsuite: json: %v\n", err)
 		}
+	} else if len(reports) > 1 {
+		fmt.Printf("(%d experiments in %.1fs wall)\n", len(reports), wall.Seconds())
+	}
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(1, "benchsuite: memprofile: %v\n", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(1, "benchsuite: memprofile: %v\n", err)
+		}
+		f.Close()
 	}
 }

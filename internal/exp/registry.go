@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"coregap/internal/trace"
 )
@@ -29,6 +30,10 @@ type Report struct {
 	Artifacts  []Artifact
 	Lines      []string
 	Trials     []Trial
+	// Work is the summed host wall-clock of the experiment's trials:
+	// aggregate worker time, not elapsed time, since trials of several
+	// experiments interleave on the shared work-stealing pool.
+	Work time.Duration
 }
 
 // Value reports the named value of the identified trial (0 when absent) —

@@ -10,8 +10,15 @@ import (
 // Runner executes independent trials across a pool of goroutines. Each
 // trial owns its own simulation engine and is seeded entirely from its
 // spec, so the result list is bit-identical to serial execution
-// regardless of worker count or scheduling: results are returned in
-// spec order, and nothing except RunMeta.Wall depends on the host.
+// regardless of worker count or scheduling: results are written into
+// ordered slots, and nothing except RunMeta.Wall depends on the host.
+//
+// Work distribution is a work-stealing pool: trials are dealt
+// round-robin into per-worker queues, a worker drains its own queue
+// front-to-back, and a worker that runs dry steals from the others.
+// With RunExperiments the pool spans *all* experiments' trials at once,
+// so one experiment's long tail (e.g. fig6's largest-N run) no longer
+// idles workers that could be executing the next experiment.
 type Runner struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS.
 	Workers int
@@ -27,59 +34,154 @@ func (r *Runner) workers() int {
 	return r.Workers
 }
 
+// stealQueue is one worker's trial queue. The owner pops from the head
+// (preserving rough spec order); thieves steal from the tail, where the
+// round-robin deal places the later — and in sweep experiments usually
+// larger — trials. A mutex suffices: trials run for milliseconds to
+// seconds, so queue operations are noise.
+type stealQueue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (q *stealQueue) pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+func (q *stealQueue) steal() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items)
+	if n == 0 {
+		return 0, false
+	}
+	it := q.items[n-1]
+	q.items = q.items[:n-1]
+	return it, true
+}
+
+// runItems executes exec(0..n-1) on the stealing pool. Every index runs
+// exactly once; the caller provides ordered result slots, so completion
+// order is irrelevant to the output. No work is added after the deal,
+// so a worker that finds every queue empty can exit: the remaining
+// items are already executing on other workers.
+func (r *Runner) runItems(n int, exec func(int)) {
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			exec(i)
+		}
+		return
+	}
+	queues := make([]*stealQueue, workers)
+	for w := range queues {
+		queues[w] = &stealQueue{items: make([]int, 0, n/workers+1)}
+	}
+	for i := 0; i < n; i++ {
+		q := queues[i%workers]
+		q.items = append(q.items, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				i, ok := queues[self].pop()
+				for off := 1; !ok && off < workers; off++ {
+					i, ok = queues[(self+off)%workers].steal()
+				}
+				if !ok {
+					return
+				}
+				exec(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // RunSpecs executes every spec and returns the trials in spec order.
 // All trials are attempted even when some fail; the joined error names
 // each failed trial.
 func (r *Runner) RunSpecs(specs []ScenarioSpec) ([]Trial, error) {
 	trials := make([]Trial, len(specs))
 	errs := make([]error, len(specs))
-	workers := r.workers()
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers <= 1 {
-		for i, s := range specs {
-			trials[i], errs[i] = Execute(s)
-		}
-		return trials, errors.Join(errs...)
-	}
-
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				trials[i], errs[i] = Execute(specs[i])
-			}
-		}()
-	}
-	for i := range specs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	r.runItems(len(specs), func(i int) {
+		trials[i], errs[i] = Execute(specs[i])
+	})
 	return trials, errors.Join(errs...)
 }
 
-// RunExperiment generates the experiment's specs for the profile,
-// executes them on the pool, and reduces the ordered results.
-func (r *Runner) RunExperiment(e *Experiment, p Profile) (*Report, error) {
-	specs := e.Specs(p)
-	trials, err := r.RunSpecs(specs)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", e.Name, err)
-	}
-	rep := e.Reduce(p, trials)
+// finishReport stamps the reduced report with the experiment's identity
+// and attaches the ordered trials.
+func finishReport(rep *Report, e *Experiment, trials []Trial) {
 	rep.Experiment = e.Name
 	rep.Title = e.Title
 	rep.Paper = e.Paper
 	rep.Trials = trials
 	for i := range rep.Trials {
 		rep.Trials[i].Meta.Experiment = e.Name
+		rep.Work += rep.Trials[i].Meta.Wall
 	}
-	return rep, nil
+}
+
+// RunExperiments generates the specs of every given experiment up
+// front, executes the union of all trials on one work-stealing pool,
+// and reduces each experiment — in order — once all trials are done.
+// Reports come back in experiment order; a failed experiment leaves a
+// nil slot and contributes to the joined error, while the others still
+// reduce.
+func (r *Runner) RunExperiments(es []*Experiment, p Profile) ([]*Report, error) {
+	type slot struct{ exp, trial int }
+	specs := make([][]ScenarioSpec, len(es))
+	trials := make([][]Trial, len(es))
+	terrs := make([][]error, len(es))
+	var flat []slot
+	for i, e := range es {
+		specs[i] = e.Specs(p)
+		trials[i] = make([]Trial, len(specs[i]))
+		terrs[i] = make([]error, len(specs[i]))
+		for j := range specs[i] {
+			flat = append(flat, slot{i, j})
+		}
+	}
+	r.runItems(len(flat), func(k int) {
+		s := flat[k]
+		trials[s.exp][s.trial], terrs[s.exp][s.trial] = Execute(specs[s.exp][s.trial])
+	})
+	reports := make([]*Report, len(es))
+	var errs []error
+	for i, e := range es {
+		if err := errors.Join(terrs[i]...); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.Name, err))
+			continue
+		}
+		rep := e.Reduce(p, trials[i])
+		finishReport(rep, e, trials[i])
+		reports[i] = rep
+	}
+	return reports, errors.Join(errs...)
+}
+
+// RunExperiment generates the experiment's specs for the profile,
+// executes them on the pool, and reduces the ordered results.
+func (r *Runner) RunExperiment(e *Experiment, p Profile) (*Report, error) {
+	reps, err := r.RunExperiments([]*Experiment{e}, p)
+	if err != nil {
+		return nil, err
+	}
+	return reps[0], nil
 }
 
 // run is the serial-compatibility path used by the legacy Run* wrappers:

@@ -81,6 +81,62 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunExperimentsCrossPoolDeterminism drives the work-stealing pool
+// the way benchsuite -exp all does — one flat queue over several
+// experiments' trials — and checks the reduced reports are byte-equal
+// to per-experiment serial runs.
+func TestRunExperimentsCrossPoolDeterminism(t *testing.T) {
+	p := Profile{Seed: 42}
+	names := []string{"table2", "table3", "fig3", "tdx"}
+	var es []*Experiment
+	for _, n := range names {
+		e, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("experiment %q not registered", n)
+		}
+		es = append(es, e)
+	}
+	pooled, err := NewRunner(8).RunExperiments(es, p)
+	if err != nil {
+		t.Fatalf("pooled: %v", err)
+	}
+	for i, e := range es {
+		serial, err := NewRunner(1).RunExperiment(e, p)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.Name, err)
+		}
+		if s, pl := renderReport(t, serial), renderReport(t, pooled[i]); s != pl {
+			t.Errorf("%s: cross-experiment pool output differs from serial\nserial:\n%s\npooled:\n%s", e.Name, s, pl)
+		}
+	}
+}
+
+// TestRunExperimentsPartialFailure: one failing experiment yields a nil
+// report slot and a joined error naming it; the healthy experiment
+// still reduces.
+func TestRunExperimentsPartialFailure(t *testing.T) {
+	good, _ := Lookup("table2")
+	bad := &Experiment{
+		Name:  "bad",
+		Title: "always fails",
+		Specs: func(p Profile) []ScenarioSpec {
+			return []ScenarioSpec{{ID: "broken", Config: ConfigGapped, Cores: 2, Seed: 1,
+				Workload: Workload{Kind: "no-such-kind"}}}
+		},
+		Reduce: func(p Profile, trials []Trial) *Report { return &Report{} },
+	}
+	reps, err := NewRunner(4).RunExperiments([]*Experiment{good, bad}, Profile{Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v, want failure naming experiment \"bad\"", err)
+	}
+	if reps[0] == nil || reps[0].Experiment != "table2" || len(reps[0].Trials) == 0 {
+		t.Fatal("healthy experiment did not reduce")
+	}
+	if reps[1] != nil {
+		t.Fatal("failed experiment produced a report")
+	}
+}
+
 // TestRunnerRepeatable: two consecutive runs with the same seed are
 // byte-identical; a different seed changes at least the recorded seeds.
 func TestRunnerRepeatable(t *testing.T) {

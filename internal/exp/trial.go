@@ -321,7 +321,8 @@ func (t *Trial) runNullAsync(spec ScenarioSpec) error {
 	mach := hw.NewMachine(eng, hw.DefaultConfig(2))
 	kern := host.NewKernel(mach, gic.NewDistributor(mach), trace.NewSet())
 	mb := rpc.NewMailbox(eng, "null")
-	hist := &trace.Hist{}
+	hist := trace.AcquireHist("null.async")
+	defer trace.ReleaseHist(hist)
 
 	hostCore, rmmCore := hw.CoreID(0), hw.CoreID(1)
 	// The RMM side: a polling loop on the dedicated core that answers
@@ -377,7 +378,8 @@ func (t *Trial) runNullSync(spec ScenarioSpec) error {
 	rounds := spec.Workload.Rounds
 	eng := sim.NewEngine(spec.Seed)
 	mb := rpc.NewMailbox(eng, "sync")
-	hist := &trace.Hist{}
+	hist := trace.AcquireHist("null.sync")
+	defer trace.ReleaseHist(hist)
 	done := 0
 	var post func()
 	post = func() {

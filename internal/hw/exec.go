@@ -22,7 +22,7 @@ type Executor struct {
 	remaining sim.Duration
 	speed     float64
 	startedAt sim.Time
-	ev        *sim.Event
+	ev        sim.Event
 	onDone    func()
 
 	busySince sim.Time
@@ -93,7 +93,7 @@ func (x *Executor) schedule() {
 }
 
 func (x *Executor) complete() {
-	x.ev = nil
+	x.ev = sim.Event{}
 	x.busyTotal += x.eng.Now().Sub(x.busySince)
 	x.running = false
 	done := x.onDone
@@ -116,7 +116,7 @@ func (x *Executor) Preempt() sim.Duration {
 		return 0
 	}
 	x.eng.Cancel(x.ev)
-	x.ev = nil
+	x.ev = sim.Event{}
 	done := x.consumed()
 	if done > x.remaining {
 		done = x.remaining

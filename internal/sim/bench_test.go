@@ -1,0 +1,100 @@
+package sim
+
+import "testing"
+
+// Microbenchmarks for the engine hot path. The steady-state numbers
+// here are the denominators every perf PR is judged against (`make
+// bench` folds them into BENCH_3.json); the companion TestZeroAlloc*
+// gates turn the free-list contract — no allocation on the
+// schedule/fire path once the pool is warm — into a failing test
+// rather than a benchmark footnote.
+
+// BenchmarkSchedule measures the steady-state schedule→fire round trip:
+// one After plus one Step, recycling a single pool node.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	e.After(1, "warm", fn)
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "bench", fn)
+		e.Step()
+	}
+}
+
+// BenchmarkCancel measures schedule→cancel, the re-arm pattern of every
+// timer in the models.
+func BenchmarkCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.After(1, "bench", fn))
+	}
+}
+
+// BenchmarkChurn measures a deep-queue mix: 256 resident events, each
+// iteration fires the earliest and schedules a replacement at a
+// deterministic pseudo-random offset, exercising full-depth sifts.
+func BenchmarkChurn(b *testing.B) {
+	e := NewEngine(1)
+	src := e.Source("churn")
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.After(Duration(src.Intn(1000)+1), "resident", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.After(Duration(src.Intn(1000)+1), "resident", fn)
+	}
+}
+
+// zeroAllocs asserts a hot-path operation allocates nothing per run
+// once the engine pool is warm.
+func zeroAllocs(t *testing.T, name string, op func()) {
+	t.Helper()
+	op() // warm the pool and the heap backing array
+	if avg := testing.AllocsPerRun(1000, op); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op in steady state, want 0", name, avg)
+	}
+}
+
+// TestZeroAllocScheduleFire is the allocation-regression gate for the
+// BenchmarkSchedule path.
+func TestZeroAllocScheduleFire(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	zeroAllocs(t, "schedule+fire", func() {
+		e.After(1, "gate", fn)
+		e.Step()
+	})
+}
+
+// TestZeroAllocCancel gates the schedule→cancel path.
+func TestZeroAllocCancel(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	zeroAllocs(t, "schedule+cancel", func() {
+		e.Cancel(e.After(1, "gate", fn))
+	})
+}
+
+// TestZeroAllocDeepQueue gates the full-depth sift path: the queue
+// stays 256 deep while events churn through it.
+func TestZeroAllocDeepQueue(t *testing.T) {
+	e := NewEngine(1)
+	src := e.Source("gate")
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.After(Duration(src.Intn(1000)+1), "resident", fn)
+	}
+	zeroAllocs(t, "deep-queue churn", func() {
+		e.Step()
+		e.After(Duration(src.Intn(1000)+1), "resident", fn)
+	})
+}

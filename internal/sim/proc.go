@@ -7,7 +7,7 @@ import "fmt"
 // timers and watchdogs in the models.
 type Timer struct {
 	eng   *Engine
-	ev    *Event
+	ev    Event
 	label string
 	fn    func()
 }
@@ -22,7 +22,7 @@ func NewTimer(eng *Engine, label string, fn func()) *Timer {
 func (t *Timer) Arm(d Duration) {
 	t.Disarm()
 	t.ev = t.eng.After(d, t.label, func() {
-		t.ev = nil
+		t.ev = Event{}
 		t.fn()
 	})
 }
@@ -31,17 +31,15 @@ func (t *Timer) Arm(d Duration) {
 func (t *Timer) ArmAt(at Time) {
 	t.Disarm()
 	t.ev = t.eng.At(at, t.label, func() {
-		t.ev = nil
+		t.ev = Event{}
 		t.fn()
 	})
 }
 
 // Disarm cancels a pending expiry, if any.
 func (t *Timer) Disarm() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }
 
 // Pending reports whether the timer is armed.
@@ -63,7 +61,7 @@ type Ticker struct {
 	label  string
 	period Duration
 	next   Time
-	ev     *Event
+	ev     Event
 	fn     func()
 }
 
@@ -92,10 +90,8 @@ func (t *Ticker) schedule() {
 
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }
 
 // Running reports whether the ticker is active.

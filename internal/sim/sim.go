@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -66,55 +65,45 @@ func fmtDuration(d Duration) string {
 	}
 }
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel pending events (for example when a timer is
-// re-armed or a compute slice is preempted).
+// Event is a cancellation handle for a scheduled callback, returned by
+// the scheduling methods so callers can cancel pending events (for
+// example when a timer is re-armed or a compute slice is preempted).
+//
+// The handle is a value: it pairs the engine-owned queue node with the
+// node's generation at scheduling time. Nodes are recycled through a
+// free list once fired or cancelled, so a handle can outlive its event;
+// the generation check makes such stale handles inert — Pending reports
+// false and Cancel is a no-op even after the node has been reused for
+// an unrelated later event. The zero Event is a valid "no event" handle.
 type Event struct {
-	at     Time
-	seq    uint64
-	index  int // heap index, -1 once fired or cancelled
-	fn     func()
-	label  string
-	cancel bool
+	n   *event
+	gen uint32
 }
 
-// Time reports when the event will fire (or was scheduled to fire).
-func (e *Event) Time() Time { return e.at }
+// valid reports whether the handle still refers to the event it was
+// created for (the node has not been recycled since).
+func (e Event) valid() bool { return e.n != nil && e.gen == e.n.gen }
 
-// Label reports the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
+// Time reports when the event will fire. Once the event has fired or
+// been cancelled the association is gone and Time reports 0.
+func (e Event) Time() Time {
+	if !e.valid() {
+		return 0
+	}
+	return e.n.at
+}
+
+// Label reports the diagnostic label given at scheduling time ("" once
+// the event has fired or been cancelled).
+func (e Event) Label() string {
+	if !e.valid() {
+		return ""
+	}
+	return e.n.label
+}
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+func (e Event) Pending() bool { return e.valid() && e.n.index >= 0 }
 
 // Engine is a deterministic discrete-event scheduler.
 //
@@ -122,7 +111,8 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []*event // 4-ary min-heap on (at, seq); see heap.go
+	free    []*event // recycled nodes; At/After allocate nothing in steady state
 	stopped bool
 	seed    uint64
 	sources map[string]*Source
@@ -149,49 +139,61 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug.
-func (e *Engine) At(t Time, label string, fn func()) *Event {
+func (e *Engine) At(t Time, label string, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, label: label}
-	heap.Push(&e.events, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.label = label
+	e.heapPush(ev)
+	return Event{n: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d is clamped
 // to zero.
-func (e *Engine) After(d Duration, label string, fn func()) *Event {
+func (e *Engine) After(d Duration, label string, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now.Add(d), label, fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired, cancelled or nil
-// event is a no-op, so callers need not track event lifetimes precisely.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 || ev.cancel {
+// Cancel removes a pending event. Cancelling a fired, cancelled, stale
+// or zero handle is a no-op, so callers need not track event lifetimes
+// precisely.
+func (e *Engine) Cancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.index < 0 {
 		return
 	}
-	ev.cancel = true
-	heap.Remove(&e.events, ev.index)
+	e.heapRemove(int(n.index))
+	e.recycle(n)
 	e.cancelled++
 }
 
 // Step executes the single next event, advancing the clock. It reports
 // false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 || e.stopped {
+	if len(e.heap) == 0 || e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
+	ev := e.heapPop()
 	if ev.at < e.now {
 		panic("sim: event heap corrupted (time went backwards)")
 	}
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running fn: the callback may schedule follow-up
+	// events, and handing it this node keeps the pool at its
+	// steady-state size. The generation bump has already invalidated
+	// the fired event's own handle.
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -204,7 +206,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then sets the clock to t
 // (if it has not already passed it). Events scheduled exactly at t run.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= t {
 		e.Step()
 	}
 	if e.now < t && !e.stopped {
@@ -222,15 +224,15 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // NextEventTime reports the timestamp of the earliest queued event, or
 // Forever when the queue is empty.
 func (e *Engine) NextEventTime() Time {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return Forever
 	}
-	return e.events[0].at
+	return e.heap[0].at
 }
 
 // Source returns a named deterministic random source. The same (seed, name)

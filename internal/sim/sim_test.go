@@ -40,14 +40,71 @@ func TestEngineCancel(t *testing.T) {
 	fired := false
 	ev := e.After(10, "x", func() { fired = true })
 	e.Cancel(ev)
-	e.Cancel(ev) // double-cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)      // double-cancel is a no-op
+	e.Cancel(Event{}) // zero handle is a no-op
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
 	if ev.Pending() {
 		t.Fatal("cancelled event still pending")
+	}
+}
+
+// TestStaleHandleAfterRecycle is the event-pool hazard regression test:
+// once an event has been cancelled (or fired) its node goes back to the
+// engine's free list and may be reused for an unrelated event. A handle
+// held from before the recycle must read as not pending, must not
+// cancel the node's new occupant, and must never fire the old callback.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	e := NewEngine(1)
+	oldFired, newFired := 0, 0
+	ev1 := e.After(10, "old", func() { oldFired++ })
+	e.Cancel(ev1)
+	// The free list is LIFO, so this reuses ev1's node.
+	ev2 := e.After(20, "new", func() { newFired++ })
+	if ev2.n != ev1.n {
+		t.Fatalf("free list did not recycle the cancelled node")
+	}
+	if ev1.Pending() {
+		t.Fatal("stale handle reports pending after its node was recycled")
+	}
+	if ev1.Time() != 0 || ev1.Label() != "" {
+		t.Fatalf("stale handle leaks recycled node state: at=%v label=%q", ev1.Time(), ev1.Label())
+	}
+	e.Cancel(ev1) // must not cancel ev2, which now owns the node
+	if !ev2.Pending() {
+		t.Fatal("stale Cancel killed the node's new occupant")
+	}
+	e.Run()
+	if oldFired != 0 || newFired != 1 {
+		t.Fatalf("fired old=%d new=%d, want 0/1", oldFired, newFired)
+	}
+	if ev2.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}
+
+// TestEventPoolReuse: steady-state schedule/fire churn stays within the
+// pool — the free list returns to its high-water mark after every fire,
+// and the heap never regrows.
+func TestEventPoolReuse(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var rec func()
+	rec = func() {
+		n++
+		if n < 1000 {
+			e.After(1, "rec", rec)
+		}
+	}
+	e.After(1, "rec", rec)
+	e.Run()
+	if got := len(e.free); got != 1 {
+		t.Fatalf("free list has %d nodes after single-chain churn, want 1", got)
+	}
+	if e.fired != 1000 {
+		t.Fatalf("fired = %d, want 1000", e.fired)
 	}
 }
 
@@ -88,6 +145,52 @@ func TestEngineSchedulingInsideEvents(t *testing.T) {
 	}
 	if e.Now() != 100 {
 		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+// TestHeapStressRandom exercises the 4-ary heap with a random mix of
+// schedules and cancellations and asserts the fundamental invariant:
+// events fire in non-decreasing time order, FIFO within one instant,
+// and cancelled events never fire.
+func TestHeapStressRandom(t *testing.T) {
+	e := NewEngine(123)
+	src := e.Source("stress")
+	type rec struct {
+		at        Time
+		seq       int
+		cancelled bool
+	}
+	var fired []rec
+	var handles []Event
+	var meta []*rec
+	for i := 0; i < 5000; i++ {
+		at := Time(src.Intn(1000))
+		r := &rec{at: at, seq: i}
+		meta = append(meta, r)
+		handles = append(handles, e.At(at, "s", func() { fired = append(fired, *r) }))
+	}
+	cancelled := 0
+	for i := range handles {
+		if src.Intn(3) == 0 {
+			meta[i].cancelled = true
+			e.Cancel(handles[i])
+			cancelled++
+		}
+	}
+	e.Run()
+	if len(fired) != 5000-cancelled {
+		t.Fatalf("fired %d events, want %d", len(fired), 5000-cancelled)
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+			t.Fatalf("order violated at %d: (%v,%d) before (%v,%d)", i, a.at, a.seq, b.at, b.seq)
+		}
+	}
+	for _, f := range fired {
+		if f.cancelled {
+			t.Fatalf("cancelled event (%v,%d) fired", f.at, f.seq)
+		}
 	}
 }
 

@@ -6,8 +6,10 @@ package trace
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"coregap/internal/sim"
 )
@@ -34,11 +36,17 @@ func (c *Counter) Value() uint64 { return c.n }
 // Samples are stored exactly; runs in this repository are small enough
 // (≤ a few million samples) that exact percentiles are affordable and
 // remove any binning artefacts from reproduced numbers.
+//
+// Samples and the running sum are kept as int64 nanoseconds. The sum in
+// particular must not be a float64: past ~2^53 accumulated nanoseconds
+// (a few months of simulated time, easily reached by long sweeps)
+// float64 addition silently drops low-order sample bits, skewing Mean
+// and Sum. Integer accumulation is exact over the full int64 range.
 type Hist struct {
 	name    string
-	samples []sim.Duration
+	samples []int64 // nanoseconds; int64 so percentile sorts use slices.Sort's unboxed fast path
 	sorted  bool
-	sum     float64
+	sum     int64
 }
 
 // Name reports the histogram's name.
@@ -46,8 +54,8 @@ func (h *Hist) Name() string { return h.name }
 
 // Observe records one sample.
 func (h *Hist) Observe(d sim.Duration) {
-	h.samples = append(h.samples, d)
-	h.sum += float64(d)
+	h.samples = append(h.samples, int64(d))
+	h.sum += int64(d)
 	h.sorted = false
 }
 
@@ -59,15 +67,24 @@ func (h *Hist) Mean() sim.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	return sim.Duration(h.sum / float64(len(h.samples)))
+	return sim.Duration(float64(h.sum) / float64(len(h.samples)))
 }
 
-// Sum reports the total of all samples.
+// Sum reports the exact total of all samples.
 func (h *Hist) Sum() sim.Duration { return sim.Duration(h.sum) }
+
+// Reset empties the histogram but keeps the sample slice's capacity, so
+// a pooled histogram reused across trials reaches steady state with no
+// per-trial allocation.
+func (h *Hist) Reset() {
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.sorted = false
+}
 
 func (h *Hist) sortSamples() {
 	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		slices.Sort(h.samples)
 		h.sorted = true
 	}
 }
@@ -80,16 +97,16 @@ func (h *Hist) Percentile(p float64) sim.Duration {
 	}
 	h.sortSamples()
 	if p <= 0 {
-		return h.samples[0]
+		return sim.Duration(h.samples[0])
 	}
 	if p >= 100 {
-		return h.samples[len(h.samples)-1]
+		return sim.Duration(h.samples[len(h.samples)-1])
 	}
 	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
 	if rank < 1 {
 		rank = 1
 	}
-	return h.samples[rank-1]
+	return sim.Duration(h.samples[rank-1])
 }
 
 // Min reports the smallest sample, or 0 with no samples.
@@ -104,13 +121,39 @@ func (h *Hist) Stddev() sim.Duration {
 	if n < 2 {
 		return 0
 	}
-	mean := h.sum / float64(n)
+	mean := float64(h.sum) / float64(n)
 	var ss float64
 	for _, s := range h.samples {
 		d := float64(s) - mean
 		ss += d * d
 	}
 	return sim.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// histPool recycles histograms — and, through Reset, their grown sample
+// slices — across trials. The parallel experiment runner executes tens
+// of thousands of short trials; without pooling each one grows a fresh
+// exact-sample slice only to drop it at reduction time.
+var histPool = sync.Pool{New: func() any { return new(Hist) }}
+
+// AcquireHist returns an empty histogram from the package pool. Use for
+// trial-scoped histograms whose values are extracted before the trial
+// ends; pair with ReleaseHist.
+func AcquireHist(name string) *Hist {
+	h := histPool.Get().(*Hist)
+	h.name = name
+	return h
+}
+
+// ReleaseHist resets h and returns it to the pool. The caller must not
+// retain h or any result derived from its internal state afterwards.
+func ReleaseHist(h *Hist) {
+	if h == nil {
+		return
+	}
+	h.Reset()
+	h.name = ""
+	histPool.Put(h)
 }
 
 // Gauge tracks the latest value of a quantity along with its extremes.

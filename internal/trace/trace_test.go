@@ -52,6 +52,61 @@ func TestHistBasics(t *testing.T) {
 	}
 }
 
+// TestHistSumExactPastFloat53 is the precision regression test for the
+// running sum: a float64 accumulator silently absorbs small samples
+// once the total passes 2^53 ns (2^53 + 1 rounds back to 2^53). The
+// int64 accumulator must stay exact.
+func TestHistSumExactPastFloat53(t *testing.T) {
+	h := &Hist{}
+	big := sim.Duration(1) << 53
+	h.Observe(big)
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	if want := big + 10; h.Sum() != want {
+		t.Fatalf("Sum = %d, want %d (low-order samples lost)", h.Sum(), want)
+	}
+	// The float64 path demonstrably loses them: 2^53 is the first
+	// integer whose successor float64 cannot represent.
+	f := float64(big)
+	for i := 0; i < 10; i++ {
+		f += 1
+	}
+	if sim.Duration(f) == big+10 {
+		t.Fatal("float64 accumulation unexpectedly exact; test premise broken")
+	}
+}
+
+// TestHistReset: reset keeps capacity but clears all statistics, and a
+// pooled histogram comes back empty.
+func TestHistReset(t *testing.T) {
+	h := AcquireHist("x")
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i))
+	}
+	if h.Percentile(50) == 0 || h.Sum() == 0 {
+		t.Fatal("histogram did not record")
+	}
+	before := cap(h.samples)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("reset left state: n=%d sum=%d", h.Count(), h.Sum())
+	}
+	if cap(h.samples) != before {
+		t.Fatalf("reset dropped capacity: %d -> %d", before, cap(h.samples))
+	}
+	h.Observe(7)
+	if h.Mean() != 7 || h.Count() != 1 {
+		t.Fatal("histogram unusable after reset")
+	}
+	ReleaseHist(h)
+	h2 := AcquireHist("y")
+	if h2.Count() != 0 || h2.Sum() != 0 || h2.Name() != "y" {
+		t.Fatal("pooled histogram not clean")
+	}
+	ReleaseHist(h2)
+}
+
 func TestHistEmpty(t *testing.T) {
 	var h Hist
 	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Stddev() != 0 {

@@ -82,11 +82,56 @@ func (cs *CoreState) Touch(d DomainID, footprint, secretFrac float64, tagSrc *si
 		if n == 0 {
 			n = 1
 		}
-		for i := 0; i < n; i++ {
-			secret := secretFrac > 0 && tagSrc.Float64() < secretFrac
-			b.Insert(Entry{Domain: d, Secret: secret, Tag: tagSrc.Uint64()})
+		if secretFrac > 0 {
+			b.fillSecret(d, n, secretFrac, tagSrc)
+		} else {
+			b.fillPlain(d, n, tagSrc)
 		}
 	}
+}
+
+// fillPlain models n back-to-back fills of b by domain d with no secret
+// tagging. It draws exactly one tagSrc.Uint64 per entry in insertion
+// order — the same stream consumption and final ring state as n
+// successive Inserts — but hoists the ring bookkeeping out of the loop.
+// Touch is the simulator's single hottest loop (every execution slice
+// on every core lands here, with n up to the 16K-entry L2), which is
+// why it bypasses Insert's per-call eviction bookkeeping.
+func (b *Buffer) fillPlain(d DomainID, n int, tagSrc *sim.Source) {
+	c := b.cap
+	for ; n > 0 && len(b.entries) < c; n-- {
+		b.entries = append(b.entries, Entry{Domain: d, Tag: tagSrc.Uint64()})
+	}
+	entries, next := b.entries, b.next
+	for i := 0; i < n; i++ {
+		entries[next] = Entry{Domain: d, Tag: tagSrc.Uint64()}
+		next++
+		if next == c {
+			next = 0
+		}
+	}
+	b.next = next
+}
+
+// fillSecret is fillPlain with per-entry secret tagging: one Float64
+// draw (the secret decision) then one Uint64 draw (the tag) per entry,
+// in that order, matching the historical Insert loop byte for byte.
+func (b *Buffer) fillSecret(d DomainID, n int, secretFrac float64, tagSrc *sim.Source) {
+	c := b.cap
+	for ; n > 0 && len(b.entries) < c; n-- {
+		secret := tagSrc.Float64() < secretFrac
+		b.entries = append(b.entries, Entry{Domain: d, Secret: secret, Tag: tagSrc.Uint64()})
+	}
+	entries, next := b.entries, b.next
+	for i := 0; i < n; i++ {
+		secret := tagSrc.Float64() < secretFrac
+		entries[next] = Entry{Domain: d, Secret: secret, Tag: tagSrc.Uint64()}
+		next++
+		if next == c {
+			next = 0
+		}
+	}
+	b.next = next
 }
 
 // Warmth reports the fraction of per-core cache/TLB/predictor capacity

@@ -300,3 +300,53 @@ func TestFlushCostsComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestFillMatchesSequentialInsert pins the bulk-fill fast path to the
+// reference semantics: identical Source consumption and identical final
+// ring state as entry-by-entry Insert, across growth, wrap-around and
+// secret-tagging cases. Any divergence here breaks byte-identical
+// reproduction, not just performance.
+func TestFillMatchesSequentialInsert(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		cap        int
+		rounds     []int
+		secretFrac float64
+	}{
+		{"grow-only", 64, []int{10, 20}, 0},
+		{"wrap", 16, []int{10, 40, 7}, 0},
+		{"exact-cap", 32, []int{32, 32}, 0},
+		{"secret-wrap", 16, []int{10, 40, 7}, 0.3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := NewBuffer(L1D, tc.cap)
+			refSrc := sim.NewSource(99)
+			fast := NewBuffer(L1D, tc.cap)
+			fastSrc := sim.NewSource(99)
+			for r, n := range tc.rounds {
+				d := Guest(r)
+				for i := 0; i < n; i++ {
+					secret := tc.secretFrac > 0 && refSrc.Float64() < tc.secretFrac
+					ref.Insert(Entry{Domain: d, Secret: secret, Tag: refSrc.Uint64()})
+				}
+				if tc.secretFrac > 0 {
+					fast.fillSecret(d, n, tc.secretFrac, fastSrc)
+				} else {
+					fast.fillPlain(d, n, fastSrc)
+				}
+			}
+			if ref.next != fast.next || len(ref.entries) != len(fast.entries) {
+				t.Fatalf("ring state diverged: next %d/%d len %d/%d",
+					ref.next, fast.next, len(ref.entries), len(fast.entries))
+			}
+			for i := range ref.entries {
+				if ref.entries[i] != fast.entries[i] {
+					t.Fatalf("entry %d diverged: %+v vs %+v", i, ref.entries[i], fast.entries[i])
+				}
+			}
+			if refSrc.Uint64() != fastSrc.Uint64() {
+				t.Fatal("random stream position diverged")
+			}
+		})
+	}
+}
