@@ -1,16 +1,16 @@
 # Development entry points. `make check` is the full gate: vet, build,
-# race-enabled tests, a benchsuite smoke run, the perf smoke
-# (microbenchmarks + allocation gates -> BENCH_3.json, no thresholds)
-# and an end-to-end determinism check (serial CSV output == 8-way
-# parallel CSV output).
+# a fast race pass over the runner and engine, full race-enabled tests,
+# a benchsuite smoke run, the perf smoke (microbenchmarks + allocation
+# gates -> BENCH_4.json, no wall-clock thresholds) and an end-to-end
+# determinism check (serial CSV output == 8-way parallel CSV output).
 
 GO ?= go
 
-.PHONY: all check vet build test race smoke determinism bench bench-full bench-paper profile clean
+.PHONY: all check vet build test race race-fast smoke determinism bench bench-full bench-paper profile clean
 
 all: check
 
-check: vet build race smoke bench determinism
+check: vet build race-fast race smoke bench determinism
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,12 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# Fast feedback for the packages where worker concurrency actually
+# lives: the pooled-context runner and the engine it rewinds. -short
+# keeps the pooled-vs-fresh sweep to the cheap experiments.
+race-fast:
+	$(GO) test -race -short -timeout 10m ./internal/exp ./internal/sim
+
 # A quick end-to-end run through the registry and the parallel runner.
 smoke:
 	$(GO) run ./cmd/benchsuite -exp table2 -parallel 4
@@ -41,7 +47,7 @@ determinism:
 	echo "determinism: serial and parallel CSVs identical"
 
 # Perf trajectory: engine microbenchmarks + a fixed benchsuite smoke
-# run, recorded in BENCH_3.json. A smoke, not a threshold — except the
+# run, recorded in BENCH_4.json. A smoke, not a threshold — except the
 # zero-alloc gates, which fail the build on regression. bench-full also
 # re-measures the full-suite wall clock (minutes).
 bench:

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchsuite [-exp all|table2|...|fig10|tdx] [-full] [-seed N]
-//	           [-parallel N] [-json] [-csv DIR] [-v]
+//	           [-parallel N] [-fresh] [-json] [-csv DIR] [-v]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments come from the internal/exp registry; -exp list prints
@@ -13,9 +13,13 @@
 // work-stealing pool of -parallel workers (default: GOMAXPROCS), so a
 // long trial in one experiment never idles workers that could run the
 // next experiment's trials; results are bit-identical to a serial run
-// for the same seed, whatever the worker count. Without -full, reduced
-// sweeps keep the total runtime in the minutes range; -full runs the
-// paper-sized configurations (Fig. 6 up to 63 dedicated cores).
+// for the same seed, whatever the worker count. Each worker reuses one
+// pooled simulation context (engine, machine, granule table, metric
+// set) across its trials; -fresh disables the pooling and rebuilds
+// everything per trial, for A/B-ing results and allocation cost.
+// Without -full, reduced sweeps keep the total runtime in the minutes
+// range; -full runs the paper-sized configurations (Fig. 6 up to 63
+// dedicated cores).
 //
 // -cpuprofile and -memprofile write standard pprof profiles of the run
 // (`go tool pprof` reads them), so performance work starts from data.
@@ -42,6 +46,7 @@ var (
 	full       = flag.Bool("full", false, "paper-sized sweeps (slower)")
 	seed       = flag.Uint64("seed", 42, "simulation root seed")
 	parallel   = flag.Int("parallel", 0, "worker goroutines shared across all experiments (0 = GOMAXPROCS)")
+	fresh      = flag.Bool("fresh", false, "disable per-worker context pooling (rebuild all simulation state per trial)")
 	jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report to stdout")
 	csvDir     = flag.String("csv", "", "also write each artifact as CSV into this directory")
 	verbose    = flag.Bool("v", false, "print per-trial run metadata")
@@ -129,6 +134,7 @@ func main() {
 	}
 
 	runner := exp.NewRunner(*parallel)
+	runner.Fresh = *fresh
 	profile := exp.Profile{Seed: *seed, Full: *full}
 	start := time.Now()
 	reports, err := runner.RunExperiments(selected, profile)

@@ -51,6 +51,15 @@ type Harness struct {
 func NewHarness(seed uint64, cores int, partitionLLC bool) *Harness {
 	eng := sim.NewEngine(seed)
 	mach := hw.NewMachine(eng, hw.DefaultConfig(cores))
+	return NewHarnessOn(eng, mach, partitionLLC)
+}
+
+// NewHarnessOn builds the harness on a caller-provided engine and
+// machine — typically pooled ones that were just Reset — so repeated
+// battery trials skip the machine construction cost. The pair must be
+// in their just-built (or just-Reset) state; behaviour is then
+// identical to NewHarness with the engine's seed.
+func NewHarnessOn(eng *sim.Engine, mach *hw.Machine, partitionLLC bool) *Harness {
 	if partitionLLC {
 		mach.Shared().EnablePartitioning()
 		mach.Shared().AssignWays(uarch.Guest(0), 4)

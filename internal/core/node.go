@@ -90,30 +90,73 @@ type Node struct {
 	wakeups map[hw.CoreID]*host.Thread
 }
 
+// Context bundles the expensive, resettable substrate a Node is built
+// on: the simulation engine (event heap, free list, random sources),
+// the machine (core microarchitectural buffers, the multi-megabyte
+// granule table, shared socket state), the interrupt distributor and
+// the metric set. A Context is reused across trials via Reset; the
+// cheap per-trial object graph (kernel, monitor, planner, VMs) is
+// rebuilt fresh on top by NewNodeIn.
+type Context struct {
+	Eng  *sim.Engine
+	Mach *hw.Machine
+	Dist *gic.Distributor
+	Met  *trace.Set
+}
+
+// NewContext builds an unseeded context. Call Reset before each use —
+// including the first.
+func NewContext() *Context {
+	eng := sim.NewEngine(0)
+	mach := hw.NewMachine(eng, hw.DefaultConfig(1))
+	return &Context{
+		Eng:  eng,
+		Mach: mach,
+		Dist: gic.NewDistributor(mach),
+		Met:  trace.NewSet(),
+	}
+}
+
+// Reset rewinds every pooled component for a trial on a cores-core
+// machine seeded with seed. Afterwards the context is observationally
+// identical to a freshly built engine/machine/distributor/metric set:
+// determinism depends only on (cores, seed), never on what ran before.
+func (c *Context) Reset(cores int, seed uint64) {
+	c.Eng.Reset(seed)
+	c.Mach.Reset(hw.DefaultConfig(cores))
+	c.Dist.Reset()
+	c.Met.Reset()
+}
+
 // NewNode builds a machine with the given core count and boots the stack.
 func NewNode(cores int, opts Options, p Params, seed uint64) *Node {
-	eng := sim.NewEngine(seed)
-	mach := hw.NewMachine(eng, hw.DefaultConfig(cores))
-	dist := gic.NewDistributor(mach)
-	met := trace.NewSet()
+	ctx := NewContext()
+	ctx.Reset(cores, seed)
+	return NewNodeIn(ctx, opts, p)
+}
+
+// NewNodeIn boots the software stack on an already-Reset context. The
+// caller owns the context's lifecycle; the node is valid until the
+// context's next Reset.
+func NewNodeIn(ctx *Context, opts Options, p Params) *Node {
 	n := &Node{
-		Eng:     eng,
-		Mach:    mach,
-		Dist:    dist,
-		Kern:    host.NewKernel(mach, dist, met),
-		Met:     met,
+		Eng:     ctx.Eng,
+		Mach:    ctx.Mach,
+		Dist:    ctx.Dist,
+		Kern:    host.NewKernel(ctx.Mach, ctx.Dist, ctx.Met),
+		Met:     ctx.Met,
 		P:       p,
 		Opts:    opts,
-		Plan:    planner.New(cores, 1),
-		tagSeed: eng.Source("core.tags"),
+		Plan:    planner.New(ctx.Mach.NumCores(), 1),
+		tagSeed: ctx.Eng.Source("core.tags"),
 	}
-	n.Mon = rmm.New(mach, rmm.Config{
+	n.Mon = rmm.New(ctx.Mach, rmm.Config{
 		CoreGapped:    opts.Mode == Gapped,
 		DelegateTimer: opts.DelegateTimer,
 		DelegateVIPI:  opts.DelegateVIPI,
-	}, met)
+	}, ctx.Met)
 	if opts.PartitionLLC {
-		mach.Shared().EnablePartitioning()
+		ctx.Mach.Shared().EnablePartitioning()
 	}
 	return n
 }

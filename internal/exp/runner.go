@@ -8,10 +8,16 @@ import (
 )
 
 // Runner executes independent trials across a pool of goroutines. Each
-// trial owns its own simulation engine and is seeded entirely from its
-// spec, so the result list is bit-identical to serial execution
-// regardless of worker count or scheduling: results are written into
-// ordered slots, and nothing except RunMeta.Wall depends on the host.
+// trial is seeded entirely from its spec, so the result list is
+// bit-identical to serial execution regardless of worker count or
+// scheduling: results are written into ordered slots, and nothing
+// except RunMeta.Wall depends on the host.
+//
+// Each worker goroutine owns one pooled TrialContext — engine, machine,
+// granule table, metric set — rewound per trial instead of rebuilt, so
+// the steady-state trial allocates only its thin per-trial object
+// graph. Pooling does not affect results (ExecuteIn's contract); Fresh
+// disables it for A/B measurement.
 //
 // Work distribution is a work-stealing pool: trials are dealt
 // round-robin into per-worker queues, a worker drains its own queue
@@ -22,6 +28,11 @@ import (
 type Runner struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Fresh disables context pooling: every trial builds its simulation
+	// substrate from scratch, as Execute does. This is the reference
+	// behaviour pooling must reproduce; benchsuite -fresh exposes it so
+	// the two can be A/B'd for both results and allocation cost.
+	Fresh bool
 }
 
 // NewRunner returns a runner with the given pool size (<= 0: GOMAXPROCS).
@@ -34,24 +45,33 @@ func (r *Runner) workers() int {
 	return r.Workers
 }
 
+func (r *Runner) fresh() bool { return r != nil && r.Fresh }
+
 // stealQueue is one worker's trial queue. The owner pops from the head
 // (preserving rough spec order); thieves steal from the tail, where the
 // round-robin deal places the later — and in sweep experiments usually
 // larger — trials. A mutex suffices: trials run for milliseconds to
 // seconds, so queue operations are noise.
+//
+// The head is an index into a fixed backing array rather than a
+// reslice: popping via items = items[1:] would keep every drained
+// element reachable through the slice's origin pointer for the queue's
+// whole lifetime and re-deal nothing, while an explicit cursor makes
+// the drained prefix dead the moment it is passed.
 type stealQueue struct {
 	mu    sync.Mutex
+	head  int
 	items []int
 }
 
 func (q *stealQueue) pop() (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.head >= len(q.items) {
 		return 0, false
 	}
-	it := q.items[0]
-	q.items = q.items[1:]
+	it := q.items[q.head]
+	q.head++
 	return it, true
 }
 
@@ -59,7 +79,7 @@ func (q *stealQueue) steal() (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := len(q.items)
-	if n == 0 {
+	if q.head >= n {
 		return 0, false
 	}
 	it := q.items[n-1]
@@ -67,19 +87,21 @@ func (q *stealQueue) steal() (int, bool) {
 	return it, true
 }
 
-// runItems executes exec(0..n-1) on the stealing pool. Every index runs
-// exactly once; the caller provides ordered result slots, so completion
-// order is irrelevant to the output. No work is added after the deal,
-// so a worker that finds every queue empty can exit: the remaining
-// items are already executing on other workers.
-func (r *Runner) runItems(n int, exec func(int)) {
+// runItems executes exec(worker, 0..n-1) on the stealing pool. Every
+// index runs exactly once, tagged with the worker that ran it so the
+// caller can thread per-worker state (the pooled contexts) through.
+// Ordered result slots make completion order irrelevant to the output.
+// No work is added after the deal, so a worker that finds every queue
+// empty can exit: the remaining items are already executing on other
+// workers.
+func (r *Runner) runItems(n int, exec func(worker, item int)) {
 	workers := r.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			exec(i)
+			exec(0, i)
 		}
 		return
 	}
@@ -104,11 +126,29 @@ func (r *Runner) runItems(n int, exec func(int)) {
 				if !ok {
 					return
 				}
-				exec(i)
+				exec(self, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// contexts builds the lazy per-worker context table: slot w is created
+// on worker w's first trial and reused for all its later ones. With
+// Fresh set every slot stays nil, and ExecuteIn(nil, …) falls back to
+// scratch construction.
+func (r *Runner) contexts() []*TrialContext {
+	return make([]*TrialContext, r.workers())
+}
+
+func (r *Runner) contextFor(ctxs []*TrialContext, w int) *TrialContext {
+	if r.fresh() {
+		return nil
+	}
+	if ctxs[w] == nil {
+		ctxs[w] = NewTrialContext()
+	}
+	return ctxs[w]
 }
 
 // RunSpecs executes every spec and returns the trials in spec order.
@@ -117,8 +157,9 @@ func (r *Runner) runItems(n int, exec func(int)) {
 func (r *Runner) RunSpecs(specs []ScenarioSpec) ([]Trial, error) {
 	trials := make([]Trial, len(specs))
 	errs := make([]error, len(specs))
-	r.runItems(len(specs), func(i int) {
-		trials[i], errs[i] = Execute(specs[i])
+	ctxs := r.contexts()
+	r.runItems(len(specs), func(w, i int) {
+		trials[i], errs[i] = ExecuteIn(r.contextFor(ctxs, w), specs[i])
 	})
 	return trials, errors.Join(errs...)
 }
@@ -156,9 +197,11 @@ func (r *Runner) RunExperiments(es []*Experiment, p Profile) ([]*Report, error) 
 			flat = append(flat, slot{i, j})
 		}
 	}
-	r.runItems(len(flat), func(k int) {
+	ctxs := r.contexts()
+	r.runItems(len(flat), func(w, k int) {
 		s := flat[k]
-		trials[s.exp][s.trial], terrs[s.exp][s.trial] = Execute(specs[s.exp][s.trial])
+		trials[s.exp][s.trial], terrs[s.exp][s.trial] =
+			ExecuteIn(r.contextFor(ctxs, w), specs[s.exp][s.trial])
 	})
 	reports := make([]*Report, len(es))
 	var errs []error

@@ -7,7 +7,6 @@ import (
 	"coregap/internal/attack"
 
 	"coregap/internal/core"
-	"coregap/internal/gic"
 	"coregap/internal/guest"
 	"coregap/internal/host"
 	"coregap/internal/hw"
@@ -31,7 +30,12 @@ type Trial struct {
 	Meta   trace.RunMeta
 	// Metrics is the node's full metric set, nil for raw-transport
 	// trials. Reducers must not depend on it; it exists for workbench
-	// consumers (cmd/coregapctl -v).
+	// consumers (cmd/coregapctl -v). Only fresh-context execution
+	// (Execute, or a Runner with Fresh set) populates it: under pooled
+	// execution the set belongs to the worker's reusable TrialContext
+	// and is recycled by the next trial, so ExecuteIn leaves it nil
+	// rather than handing out state that will be rewound underneath
+	// the caller.
 	Metrics *trace.Set
 }
 
@@ -41,11 +45,20 @@ func (t Trial) V(key string) float64 { return t.Values[key] }
 // Dur reports the named value as a simulated duration.
 func (t Trial) Dur(key string) sim.Duration { return sim.Duration(t.Values[key]) }
 
-// Execute runs one scenario on a private simulation engine and reduces
-// it to a Trial. A modelling failure (workload stuck, horizon exceeded)
-// is returned as an error, never a panic, so a parallel runner can
-// surface it with the trial's identity attached.
-func Execute(spec ScenarioSpec) (t Trial, err error) {
+// Execute runs one scenario on a private, freshly allocated simulation
+// engine and reduces it to a Trial. A modelling failure (workload
+// stuck, horizon exceeded) is returned as an error, never a panic, so a
+// parallel runner can surface it with the trial's identity attached.
+func Execute(spec ScenarioSpec) (Trial, error) { return ExecuteIn(nil, spec) }
+
+// ExecuteIn is Execute running inside a worker's pooled TrialContext:
+// the scenario is rebuilt on the context's rewound engine/machine
+// instead of allocating a new object graph. A nil context falls back to
+// fresh construction. For any spec, pooled and fresh execution return
+// byte-identical trials (Metrics aside, see Trial); the runner's
+// determinism guarantee rests on that equivalence, which
+// TestPooledExecuteDeterminism enforces end to end.
+func ExecuteIn(ctx *TrialContext, spec ScenarioSpec) (t Trial, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("trial %s [%s]: %v", spec.ID, spec.Config, r)
@@ -64,29 +77,29 @@ func Execute(spec ScenarioSpec) (t Trial, err error) {
 	start := time.Now()
 	switch spec.Workload.Kind {
 	case WLCoreMark:
-		err = t.runCoreMark(spec)
+		err = t.runCoreMark(ctx, spec)
 	case WLCoreMarkPro:
-		err = t.runCoreMarkPro(spec)
+		err = t.runCoreMarkPro(ctx, spec)
 	case WLIPIBench:
-		err = t.runIPIBench(spec)
+		err = t.runIPIBench(ctx, spec)
 	case WLNetPIPE:
-		err = t.runNetPIPE(spec)
+		err = t.runNetPIPE(ctx, spec)
 	case WLIOzone:
-		err = t.runIOzone(spec)
+		err = t.runIOzone(ctx, spec)
 	case WLRedis:
-		err = t.runRedis(spec)
+		err = t.runRedis(ctx, spec)
 	case WLKBuild:
-		err = t.runKBuild(spec)
+		err = t.runKBuild(ctx, spec)
 	case WLNullRMMAsync:
-		err = t.runNullAsync(spec)
+		err = t.runNullAsync(ctx, spec)
 	case WLNullRMMSync:
-		err = t.runNullSync(spec)
+		err = t.runNullSync(ctx, spec)
 	case WLNullRMMSameCore:
 		err = t.runNullSameCore(spec)
 	case WLBattery:
-		err = t.runBattery(spec)
+		err = t.runBattery(ctx, spec)
 	case WLPTChurn:
-		err = t.runPTChurn(spec)
+		err = t.runPTChurn(ctx, spec)
 	default:
 		err = fmt.Errorf("trial %s: unknown workload kind %q", spec.ID, spec.Workload.Kind)
 	}
@@ -97,11 +110,13 @@ func Execute(spec ScenarioSpec) (t Trial, err error) {
 	return t, nil
 }
 
-// newNode builds the trial's machine and remembers its engine for the
-// run metadata.
-func (t *Trial) newNode(spec ScenarioSpec) *core.Node {
-	n := core.NewNode(spec.Cores, spec.Config.Options(), core.DefaultParams(), spec.Seed)
-	t.Metrics = n.Met
+// newNode builds the trial's machine — inside the pooled context when
+// one is supplied — and retains the metric set only for fresh nodes.
+func (t *Trial) newNode(ctx *TrialContext, spec ScenarioSpec) *core.Node {
+	n := ctx.node(spec)
+	if ctx == nil {
+		t.Metrics = n.Met
+	}
 	return n
 }
 
@@ -138,13 +153,13 @@ func horizonOr(spec ScenarioSpec, def sim.Duration) sim.Duration {
 
 // runCoreMark boots Workload.VMs CoreMark-PRO guests of VCPUs vCPUs each
 // and reports the aggregate score plus the §5.2 run-to-run statistics.
-func (t *Trial) runCoreMark(spec ScenarioSpec) error {
+func (t *Trial) runCoreMark(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
 	vms := w.VMs
 	if vms <= 0 {
 		vms = 1
 	}
-	n := t.newNode(spec)
+	n := t.newNode(ctx, spec)
 	marks := make([]*guest.CoreMark, vms)
 	for i := 0; i < vms; i++ {
 		marks[i] = guest.NewCoreMark(w.VCPUs, w.Work)
@@ -171,9 +186,9 @@ func (t *Trial) runCoreMark(spec ScenarioSpec) error {
 }
 
 // runCoreMarkPro runs the per-phase CoreMark-PRO harness (geomean mark).
-func (t *Trial) runCoreMarkPro(spec ScenarioSpec) error {
+func (t *Trial) runCoreMarkPro(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
-	n := t.newNode(spec)
+	n := t.newNode(ctx, spec)
 	cmp := guest.NewCoreMarkPro(w.VCPUs, w.Work, func() sim.Time { return n.Eng.Now() })
 	if _, err := n.NewVM("vm0", w.VCPUs, cmp); err != nil {
 		return err
@@ -188,9 +203,9 @@ func (t *Trial) runCoreMarkPro(spec ScenarioSpec) error {
 }
 
 // runIPIBench runs the two-vCPU IPI ping-pong and reports vIPI latency.
-func (t *Trial) runIPIBench(spec ScenarioSpec) error {
+func (t *Trial) runIPIBench(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
-	n := t.newNode(spec)
+	n := t.newNode(ctx, spec)
 	b := guest.NewIPIBench(w.Rounds)
 	if _, err := n.NewVM("vm0", 2, b); err != nil {
 		return err
@@ -209,9 +224,9 @@ func (t *Trial) runIPIBench(spec ScenarioSpec) error {
 
 // runNetPIPE runs one NetPIPE ping-pong configuration and reports the
 // mean round-trip time.
-func (t *Trial) runNetPIPE(spec ScenarioSpec) error {
+func (t *Trial) runNetPIPE(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
-	n := t.newNode(spec)
+	n := t.newNode(ctx, spec)
 	np := guest.NewNetPIPE(w.Dev, w.Bytes, w.Rounds)
 	vm, err := n.NewVM("vm0", 1, np)
 	if err != nil {
@@ -243,9 +258,9 @@ func (t *Trial) runNetPIPE(spec ScenarioSpec) error {
 }
 
 // runIOzone runs the synchronous O_DIRECT workload against virtio-blk.
-func (t *Trial) runIOzone(spec ScenarioSpec) error {
+func (t *Trial) runIOzone(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
-	n := t.newNode(spec)
+	n := t.newNode(ctx, spec)
 	z := guest.NewIOzone(w.Bytes, w.Write, w.Total)
 	if _, err := n.NewVM("vm0", 1, z); err != nil {
 		return err
@@ -264,9 +279,9 @@ func (t *Trial) runIOzone(spec ScenarioSpec) error {
 // a steady-state measurement window. Latency percentiles cover the whole
 // run (the warm-up is a small fraction of the window and biases all
 // configurations identically).
-func (t *Trial) runRedis(spec ScenarioSpec) error {
+func (t *Trial) runRedis(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
-	n := t.newNode(spec)
+	n := t.newNode(ctx, spec)
 	r := guest.NewRedis(w.Dev)
 	vm, err := n.NewVM("vm0", w.VCPUs, r)
 	if err != nil {
@@ -295,9 +310,9 @@ func (t *Trial) runRedis(spec ScenarioSpec) error {
 }
 
 // runKBuild runs the parallel kernel build and reports its wall time.
-func (t *Trial) runKBuild(spec ScenarioSpec) error {
+func (t *Trial) runKBuild(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
-	n := t.newNode(spec)
+	n := t.newNode(ctx, spec)
 	kb := guest.NewKBuild(w.Jobs, w.VCPUs, 250*sim.Millisecond, n.Eng.Source("kbuild"))
 	if _, err := n.NewVM("vm0", w.VCPUs, kb); err != nil {
 		return err
@@ -314,12 +329,12 @@ func (t *Trial) runKBuild(spec ScenarioSpec) error {
 // runNullAsync measures the full Fig. 4 asynchronous null-call path:
 // mailbox post, RMM pickup on the remote core, completion, exit IPI,
 // wake-up thread scan, vCPU thread wake.
-func (t *Trial) runNullAsync(spec ScenarioSpec) error {
+func (t *Trial) runNullAsync(ctx *TrialContext, spec ScenarioSpec) error {
 	p := core.DefaultParams()
 	rounds := spec.Workload.Rounds
-	eng := sim.NewEngine(spec.Seed)
-	mach := hw.NewMachine(eng, hw.DefaultConfig(2))
-	kern := host.NewKernel(mach, gic.NewDistributor(mach), trace.NewSet())
+	parts := ctx.kernelParts(2, spec.Seed)
+	eng, mach := parts.Eng, parts.Mach
+	kern := host.NewKernel(parts.Mach, parts.Dist, parts.Met)
 	mb := rpc.NewMailbox(eng, "null")
 	hist := trace.AcquireHist("null.async")
 	defer trace.ReleaseHist(hist)
@@ -373,10 +388,10 @@ func (t *Trial) runNullAsync(spec ScenarioSpec) error {
 }
 
 // runNullSync measures the busy-wait synchronous mailbox round trip.
-func (t *Trial) runNullSync(spec ScenarioSpec) error {
+func (t *Trial) runNullSync(ctx *TrialContext, spec ScenarioSpec) error {
 	p := core.DefaultParams()
 	rounds := spec.Workload.Rounds
-	eng := sim.NewEngine(spec.Seed)
+	eng := ctx.engine(2, spec.Seed)
 	mb := rpc.NewMailbox(eng, "sync")
 	hist := trace.AcquireHist("null.sync")
 	defer trace.ReleaseHist(hist)
@@ -429,8 +444,9 @@ func (t *Trial) runNullSameCore(spec ScenarioSpec) error {
 
 // runBattery runs the transient-execution attack battery under the
 // spec's scheduling and records which vulnerabilities leaked.
-func (t *Trial) runBattery(spec ScenarioSpec) error {
-	h := attack.NewHarness(spec.Seed, 2, spec.Config.Options().PartitionLLC)
+func (t *Trial) runBattery(ctx *TrialContext, spec ScenarioSpec) error {
+	eng, mach := ctx.machine(2, spec.Seed)
+	h := attack.NewHarnessOn(eng, mach, spec.Config.Options().PartitionLLC)
 	res := h.RunBattery(spec.Workload.Sched)
 	leaks := res.LeakedVulns()
 	t.Values["leaks"] = float64(len(leaks))
@@ -442,10 +458,10 @@ func (t *Trial) runBattery(spec ScenarioSpec) error {
 // updates with Frac of them to unprotected (shared) memory, under CCA
 // rules (every update is a cross-core RPC) or TDX rules (unprotected
 // updates edit the host-owned insecure table locally).
-func (t *Trial) runPTChurn(spec ScenarioSpec) error {
+func (t *Trial) runPTChurn(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
 	p := core.DefaultParams()
-	eng := sim.NewEngine(spec.Seed)
+	eng := ctx.engine(2, spec.Seed)
 	src := eng.Source("churn")
 	mb := rpc.NewMailbox(eng, "rtt")
 	var rpcs uint64

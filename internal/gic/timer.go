@@ -67,6 +67,14 @@ func NewDistributor(m *hw.Machine) *Distributor {
 	}
 }
 
+// Reset forgets every route, mask and delivery count, reusing the maps'
+// buckets so a pooled distributor is rebuilt without allocation.
+func (d *Distributor) Reset() {
+	clear(d.routes)
+	clear(d.enabled)
+	clear(d.delivered)
+}
+
 // Route sets the target core for an SPI and enables it.
 func (d *Distributor) Route(irq hw.IRQ, to hw.CoreID) {
 	d.routes[irq] = to

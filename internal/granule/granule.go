@@ -84,6 +84,12 @@ type granule struct {
 type Table struct {
 	granules []granule
 	counts   [6]uint64
+	// hi is one past the highest granule index ever mutated. The table
+	// covers whole-machine physical memory (millions of granules), but a
+	// single run touches a tiny bump-allocated prefix plus a few stray
+	// addresses; Reset scrubs only [0, hi) instead of re-zeroing — or,
+	// worse, reallocating — the entire backing array.
+	hi uint64
 }
 
 // NewTable returns a table covering size bytes of physical memory, all
@@ -93,6 +99,30 @@ func NewTable(size uint64) *Table {
 	t := &Table{granules: make([]granule, n)}
 	t.counts[Undelegated] = n
 	return t
+}
+
+// Reset returns every granule to Undelegated for a table covering size
+// bytes, reusing the backing array when the size is unchanged (the
+// common pooled-context case) so a reset table is observationally
+// identical to NewTable(size) without the multi-megabyte allocation.
+func (t *Table) Reset(size uint64) {
+	n := size / Size
+	if n != uint64(len(t.granules)) {
+		t.granules = make([]granule, n)
+	} else if t.hi > 0 {
+		clear(t.granules[:t.hi])
+	}
+	t.hi = 0
+	t.counts = [6]uint64{}
+	t.counts[Undelegated] = n
+}
+
+// mark records that the granule at pa was mutated, widening the range
+// Reset must scrub. Callers pass an already-validated pa.
+func (t *Table) mark(pa PA) {
+	if idx := pa.Index(); idx >= t.hi {
+		t.hi = idx + 1
+	}
 }
 
 // Granules reports the total granule count.
@@ -151,6 +181,7 @@ func (t *Table) Delegate(pa PA) error {
 	}
 	t.transition(g, Delegated)
 	g.dirty = false
+	t.mark(pa)
 	return nil
 }
 
@@ -170,6 +201,7 @@ func (t *Table) Undelegate(pa PA) error {
 		return ErrNotScrubbed
 	}
 	t.transition(g, Undelegated)
+	t.mark(pa)
 	return nil
 }
 
@@ -189,6 +221,7 @@ func (t *Table) Claim(pa PA, to State, owner RealmID) error {
 	t.transition(g, to)
 	g.owner = owner
 	g.dirty = true
+	t.mark(pa)
 	return nil
 }
 
@@ -210,6 +243,7 @@ func (t *Table) Release(pa PA, owner RealmID) error {
 	t.transition(g, Delegated)
 	g.owner = 0
 	g.dirty = false // release implies scrub
+	t.mark(pa)
 	return nil
 }
 

@@ -33,6 +33,21 @@ func newExecutor(eng *sim.Engine, core *Core) *Executor {
 	return &Executor{eng: eng, core: core, speed: 1}
 }
 
+// reset idles the executor and zeroes its accounting for a new trial.
+// Any pending completion event belongs to the engine's previous life
+// and was discarded by the engine's own Reset.
+func (x *Executor) reset() {
+	x.running = false
+	x.label = ""
+	x.remaining = 0
+	x.speed = 1
+	x.startedAt = 0
+	x.ev = sim.Event{}
+	x.onDone = nil
+	x.busySince = 0
+	x.busyTotal = 0
+}
+
 // Busy reports whether a context is currently running.
 func (x *Executor) Busy() bool { return x.running }
 

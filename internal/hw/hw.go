@@ -128,6 +128,20 @@ type Core struct {
 	maxLog    int
 }
 
+// reset returns the core to its just-built state: normal world, online,
+// no IRQ handler, empty audit log, cold (but capacity-retaining)
+// microarchitectural structures, and an idle executor.
+func (c *Core) reset(logDepth int) {
+	c.world = NormalWorld
+	c.power = Online
+	c.handler = nil
+	c.curDomain = uarch.DomainNone
+	c.log = c.log[:0]
+	c.maxLog = logDepth
+	c.Uarch.Reset()
+	c.Exec.reset()
+}
+
 // ID reports the core's identity.
 func (c *Core) ID() CoreID { return c.id }
 
@@ -193,6 +207,11 @@ type Machine struct {
 	gpt    *granule.Table
 	tagSrc *sim.Source
 
+	// all stashes every core ever built for this machine; Reset re-views
+	// cores as a prefix of it, so a pooled machine cycling between
+	// trials of different shapes never rebuilds core state.
+	all []*Core
+
 	ipiLatency      sim.Duration
 	worldSwitchCost sim.Duration
 	freqGHz         float64
@@ -240,16 +259,48 @@ func NewMachine(eng *sim.Engine, cfg Config) *Machine {
 		freqGHz:         cfg.FreqGHz,
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		c := &Core{
-			id:     CoreID(i),
-			mach:   m,
-			Uarch:  uarch.NewCoreState(),
-			maxLog: cfg.ExecLogDepth,
-		}
-		c.Exec = newExecutor(eng, c)
-		m.cores = append(m.cores, c)
+		m.all = append(m.all, m.newCore(CoreID(i), cfg.ExecLogDepth))
 	}
+	m.cores = m.all
 	return m
+}
+
+func (m *Machine) newCore(id CoreID, logDepth int) *Core {
+	c := &Core{
+		id:     id,
+		mach:   m,
+		Uarch:  uarch.NewCoreState(),
+		maxLog: logDepth,
+	}
+	c.Exec = newExecutor(m.eng, c)
+	return c
+}
+
+// Reset rewinds the machine to the state NewMachine(eng, cfg) would
+// produce, reusing every backing allocation: core microarchitectural
+// buffers, the granule table, and the shared socket state. The engine
+// must have been Reset by the caller first (sources reseed in place, so
+// the machine's tag source stays valid). Cores beyond a smaller
+// cfg.Cores are kept in reserve; a larger cfg grows the stash once.
+func (m *Machine) Reset(cfg Config) {
+	if cfg.Cores <= 0 {
+		panic("hw: machine with no cores")
+	}
+	if cfg.ExecLogDepth <= 0 {
+		cfg.ExecLogDepth = 4096
+	}
+	m.shared.Reset()
+	m.gpt.Reset(cfg.MemBytes)
+	m.ipiLatency = cfg.IPILatency
+	m.worldSwitchCost = cfg.WorldSwitchCost
+	m.freqGHz = cfg.FreqGHz
+	for len(m.all) < cfg.Cores {
+		m.all = append(m.all, m.newCore(CoreID(len(m.all)), cfg.ExecLogDepth))
+	}
+	m.cores = m.all[:cfg.Cores]
+	for _, c := range m.cores {
+		c.reset(cfg.ExecLogDepth)
+	}
 }
 
 // Engine reports the machine's simulation engine.

@@ -4,7 +4,7 @@ import "testing"
 
 // Microbenchmarks for the engine hot path. The steady-state numbers
 // here are the denominators every perf PR is judged against (`make
-// bench` folds them into BENCH_3.json); the companion TestZeroAlloc*
+// bench` folds them into BENCH_4.json); the companion TestZeroAlloc*
 // gates turn the free-list contract — no allocation on the
 // schedule/fire path once the pool is warm — into a failing test
 // rather than a benchmark footnote.

@@ -11,16 +11,22 @@ type Source struct {
 // NewSource returns a source seeded from seed via splitmix64.
 func NewSource(seed uint64) *Source {
 	var src Source
+	src.reseed(seed)
+	return &src
+}
+
+// reseed rewinds the source to the state NewSource(seed) would produce,
+// in place, so pooled holders of the pointer see the fresh stream.
+func (s *Source) reseed(seed uint64) {
 	x := seed
-	for i := range src.s {
+	for i := range s.s {
 		x = splitmix64(&x)
-		src.s[i] = x
+		s.s[i] = x
 	}
 	// Avoid the all-zero state, which is a fixed point of xoshiro.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 func splitmix64(state *uint64) uint64 {

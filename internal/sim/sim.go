@@ -128,6 +128,34 @@ func NewEngine(seed uint64) *Engine {
 	return &Engine{seed: seed, sources: make(map[string]*Source)}
 }
 
+// Reset rewinds the engine to its just-constructed state for a new seed
+// while keeping every backing allocation: the heap's array, the node
+// free list, and all named sources (reseeded in place, so holders of a
+// *Source keep a valid pointer to the fresh deterministic stream). A
+// pooled engine therefore reaches steady state with no per-trial
+// allocation, and a reset engine is observationally identical to
+// NewEngine(seed) — Source(name) streams depend only on (seed, name),
+// never on creation order or prior use.
+//
+// Events still queued are discarded; their handles are invalidated by
+// the generation bump exactly as if they had been cancelled.
+func (e *Engine) Reset(seed uint64) {
+	for _, ev := range e.heap {
+		ev.index = -1
+		e.recycle(ev)
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.seed = seed
+	e.fired = 0
+	e.cancelled = 0
+	for name, s := range e.sources {
+		s.reseed(mix(seed, hashString(name)))
+	}
+}
+
 // Now reports the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 

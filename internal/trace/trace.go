@@ -16,8 +16,9 @@ import (
 
 // Counter is a monotonically increasing event count.
 type Counter struct {
-	name string
-	n    uint64
+	name  string
+	n     uint64
+	epoch uint64
 }
 
 // Name reports the counter's name.
@@ -47,6 +48,7 @@ type Hist struct {
 	samples []int64 // nanoseconds; int64 so percentile sorts use slices.Sort's unboxed fast path
 	sorted  bool
 	sum     int64
+	epoch   uint64
 }
 
 // Name reports the histogram's name.
@@ -162,6 +164,7 @@ type Gauge struct {
 	v        float64
 	min, max float64
 	set      bool
+	epoch    uint64
 }
 
 // Name reports the gauge's name.
@@ -192,7 +195,15 @@ func (g *Gauge) Min() float64 { return g.min }
 func (g *Gauge) Max() float64 { return g.max }
 
 // Set is a named collection of metrics for one simulation run.
+//
+// A Set is resettable for reuse across pooled trials: Reset bumps the
+// set's epoch, which logically empties it — metrics registered before
+// the bump are invisible to Has*/…Names and are revived (zeroed in
+// place, sample capacity retained) the next time their name is
+// requested. A reset Set is therefore observationally identical to
+// NewSet() while reaching steady state with no per-trial allocation.
 type Set struct {
+	epoch    uint64
 	counters map[string]*Counter
 	hists    map[string]*Hist
 	gauges   map[string]*Gauge
@@ -207,12 +218,20 @@ func NewSet() *Set {
 	}
 }
 
+// Reset logically empties the set: every metric registered so far drops
+// out of the visible namespace and will be revived, zeroed but with its
+// backing storage intact, on next use.
+func (s *Set) Reset() { s.epoch++ }
+
 // Counter returns the named counter, creating it on first use.
 func (s *Set) Counter(name string) *Counter {
 	c, ok := s.counters[name]
 	if !ok {
-		c = &Counter{name: name}
+		c = &Counter{name: name, epoch: s.epoch}
 		s.counters[name] = c
+	} else if c.epoch != s.epoch {
+		c.epoch = s.epoch
+		c.n = 0
 	}
 	return c
 }
@@ -221,8 +240,11 @@ func (s *Set) Counter(name string) *Counter {
 func (s *Set) Hist(name string) *Hist {
 	h, ok := s.hists[name]
 	if !ok {
-		h = &Hist{name: name}
+		h = &Hist{name: name, epoch: s.epoch}
 		s.hists[name] = h
+	} else if h.epoch != s.epoch {
+		h.epoch = s.epoch
+		h.Reset()
 	}
 	return h
 }
@@ -231,23 +253,27 @@ func (s *Set) Hist(name string) *Hist {
 func (s *Set) Gauge(name string) *Gauge {
 	g, ok := s.gauges[name]
 	if !ok {
-		g = &Gauge{name: name}
+		g = &Gauge{name: name, epoch: s.epoch}
 		s.gauges[name] = g
+	} else if g.epoch != s.epoch {
+		*g = Gauge{name: g.name, epoch: s.epoch}
 	}
 	return g
 }
 
 // HasCounter reports whether the named counter exists (without creating it).
 func (s *Set) HasCounter(name string) bool {
-	_, ok := s.counters[name]
-	return ok
+	c, ok := s.counters[name]
+	return ok && c.epoch == s.epoch
 }
 
 // CounterNames reports all counter names, sorted.
 func (s *Set) CounterNames() []string {
 	names := make([]string, 0, len(s.counters))
-	for n := range s.counters {
-		names = append(names, n)
+	for n, c := range s.counters {
+		if c.epoch == s.epoch {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -256,8 +282,10 @@ func (s *Set) CounterNames() []string {
 // HistNames reports all histogram names, sorted.
 func (s *Set) HistNames() []string {
 	names := make([]string, 0, len(s.hists))
-	for n := range s.hists {
-		names = append(names, n)
+	for n, h := range s.hists {
+		if h.epoch == s.epoch {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

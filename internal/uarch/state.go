@@ -44,6 +44,17 @@ func NewCoreState() *CoreState {
 	return cs
 }
 
+// Reset empties every per-core structure and forgets the execution
+// history, returning the state a fresh NewCoreState would have while
+// keeping each buffer's grown backing array for the next trial.
+func (cs *CoreState) Reset() {
+	for k := StructKind(0); k < sharedKindsStart; k++ {
+		cs.bufs[k].Reset()
+	}
+	cs.lastDomain = DomainNone
+	cs.switches = 0
+}
+
 // Buffer returns the structure of the given per-core kind.
 func (cs *CoreState) Buffer(k StructKind) *Buffer {
 	if k.Shared() {
@@ -237,6 +248,16 @@ func NewSharedState(llcEntries, llcWays int) *SharedState {
 		wayOwner: make([]DomainID, llcWays),
 		staging:  NewBuffer(Staging, 32),
 	}
+}
+
+// Reset empties the LLC and staging buffer, disables partitioning, and
+// frees every way assignment — the state a fresh NewSharedState would
+// have, minus the allocations.
+func (ss *SharedState) Reset() {
+	ss.llc.Reset()
+	ss.staging.Reset()
+	ss.partitioned = false
+	clear(ss.wayOwner)
 }
 
 // LLC returns the shared last-level cache.

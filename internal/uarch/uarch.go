@@ -215,6 +215,11 @@ func (b *Buffer) Flush() {
 	b.next = 0
 }
 
+// Reset empties the buffer for reuse across trials. The entries slice
+// keeps its grown capacity, so a pooled buffer refills without
+// reallocating; the observable state is identical to a fresh buffer.
+func (b *Buffer) Reset() { b.Flush() }
+
 // FlushDomain removes entries belonging to d, preserving others.
 func (b *Buffer) FlushDomain(d DomainID) {
 	kept := b.entries[:0]

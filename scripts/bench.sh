@@ -1,23 +1,28 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_3.json, the perf trajectory record for
+# bench.sh — regenerate BENCH_4.json, the perf trajectory record for
 # this repo.
 #
 # Quick mode (default, used by `make bench` / `make check`):
 #   - runs the internal/sim engine microbenchmarks (ns/op, allocs/op)
 #   - times a fixed benchsuite smoke run (-exp table3 -seed 42 -parallel 1)
-#   - preserves the "suite" section of an existing BENCH_3.json
+#   - preserves the "suite" section of an existing BENCH_4.json
 #
 # Full mode (BENCH_FULL=1, used when re-baselining a perf PR):
-#   - additionally re-measures `benchsuite -exp all -seed 42` wall clock
-#     at -parallel 1 and -parallel 4 and rewrites the "suite" section.
+#   - re-measures `benchsuite -exp all -seed 42` wall clock with pooled
+#     per-worker contexts at -parallel 1, 2, 4 and 8, plus a -fresh
+#     serial run (pooling disabled) as the construction-cost baseline
+#   - computes per-N parallel efficiency, eff(N) = p1 / (N * pN), and
+#     rewrites the "suite" section
+#   - prints a LOUD warning when any parallel run is slower than serial:
+#     that is negative scaling, the regression this PR exists to gate.
 #
-# The committed baseline_* numbers are the pre-PR-3 measurement of the
-# same commands on the same class of host; they are inputs to the
-# trajectory, not re-measured here.
+# The committed baseline_* numbers are earlier measurements of the same
+# commands on the same class of host; they are inputs to the trajectory,
+# not re-measured here.
 set -e
 cd "$(dirname "$0")/.."
 
-BENCH_OUT=${BENCH_OUT:-BENCH_3.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_4.json}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -39,16 +44,23 @@ echo "bench: smoke run (table3, serial)..."
 SMOKE_S=$(walltime "$TMP/benchsuite" -exp table3 -seed 42 -parallel 1)
 
 SUITE_P1_S=""
+SUITE_P2_S=""
 SUITE_P4_S=""
+SUITE_P8_S=""
+SUITE_FRESH_P1_S=""
 if [ "${BENCH_FULL:-0}" = "1" ]; then
-    echo "bench: full suite, -parallel 1 (minutes)..."
-    SUITE_P1_S=$(walltime "$TMP/benchsuite" -exp all -seed 42 -parallel 1)
-    echo "bench: full suite, -parallel 4..."
-    SUITE_P4_S=$(walltime "$TMP/benchsuite" -exp all -seed 42 -parallel 4)
+    echo "bench: full suite, fresh (pooling off), -parallel 1 (minutes)..."
+    SUITE_FRESH_P1_S=$(walltime "$TMP/benchsuite" -exp all -seed 42 -parallel 1 -fresh)
+    for n in 1 2 4 8; do
+        echo "bench: full suite, pooled, -parallel $n..."
+        eval "SUITE_P${n}_S=\$(walltime \"$TMP/benchsuite\" -exp all -seed 42 -parallel $n)"
+    done
 fi
 
 MICRO="$TMP/micro.txt" SMOKE_S="$SMOKE_S" \
-SUITE_P1_S="$SUITE_P1_S" SUITE_P4_S="$SUITE_P4_S" BENCH_OUT="$BENCH_OUT" \
+SUITE_P1_S="$SUITE_P1_S" SUITE_P2_S="$SUITE_P2_S" \
+SUITE_P4_S="$SUITE_P4_S" SUITE_P8_S="$SUITE_P8_S" \
+SUITE_FRESH_P1_S="$SUITE_FRESH_P1_S" BENCH_OUT="$BENCH_OUT" \
 python3 - <<'PYEOF'
 import json, os, re
 
@@ -71,20 +83,51 @@ if os.path.exists(out):
         prev = {}
 
 suite = prev.get("suite", {})
-# The pre-PR-3 engine, measured with the identical commands on the same
-# host class, immediately before the optimization landed.
+# Earlier engines measured with the identical commands on the same host
+# class: pre-PR-3 (before the zero-allocation hot path), and PR 3
+# (before per-worker context pooling — note parallel 4 was *slower*
+# than serial, the negative scaling this PR removes).
 suite.setdefault("baseline_pre_pr3", {"all_parallel1_s": 55.9, "all_parallel8_s": 61.7})
-if os.environ["SUITE_P1_S"]:
-    suite["all_parallel1_s"] = float(os.environ["SUITE_P1_S"])
-if os.environ["SUITE_P4_S"]:
-    suite["all_parallel4_s"] = float(os.environ["SUITE_P4_S"])
+suite.setdefault("baseline_pr3", {"all_parallel1_s": 24.66, "all_parallel4_s": 27.2})
+
+walls = {}
+for n in (1, 2, 4, 8):
+    v = os.environ.get(f"SUITE_P{n}_S", "")
+    if v:
+        walls[n] = float(v)
+        suite[f"all_parallel{n}_s"] = walls[n]
+if os.environ.get("SUITE_FRESH_P1_S", ""):
+    suite["all_fresh_parallel1_s"] = float(os.environ["SUITE_FRESH_P1_S"])
+
+if walls and 1 in walls:
+    p1 = walls[1]
+    eff = {str(n): round(p1 / (n * pn), 3) for n, pn in sorted(walls.items())}
+    suite["parallel_efficiency"] = eff
+    slower = {n: pn for n, pn in walls.items() if n > 1 and pn > p1}
+    if slower:
+        print("=" * 72)
+        print("bench: WARNING: NEGATIVE PARALLEL SCALING")
+        for n, pn in sorted(slower.items()):
+            print(f"bench: WARNING:   -parallel {n} took {pn:.2f}s, "
+                  f"SLOWER than serial ({p1:.2f}s)")
+        print("bench: WARNING: adding workers is making the suite slower;")
+        print("bench: WARNING: see parallel_efficiency in", out)
+        print("=" * 72)
+    else:
+        for n, pn in sorted(walls.items()):
+            print(f"bench: pooled -parallel {n}: {pn:.2f}s "
+                  f"(efficiency {p1 / (n * pn):.2f})")
 
 doc = {
-    "pr": 3,
+    "pr": 5,
+    # Efficiency is relative to the measuring host; on a single-CPU
+    # host every eff(N>1) is bounded by 1/N and the scaling warning is
+    # expected.
+    "host_cpus": os.cpu_count(),
     "commands": {
         "micro": "go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$' -benchmem ./internal/sim",
         "smoke": "benchsuite -exp table3 -seed 42 -parallel 1",
-        "suite": "benchsuite -exp all -seed 42 -parallel {1,4}",
+        "suite": "benchsuite -exp all -seed 42 -parallel {1,2,4,8} [+ -fresh at -parallel 1]",
     },
     "microbench": micro,
     "smoke": {"exp": "table3", "wall_s": float(os.environ["SMOKE_S"])},
@@ -95,7 +138,9 @@ open(out, "a").write("\n")
 print(f"bench: wrote {out}")
 PYEOF
 
-# The gate half of `make bench`: the steady-state schedule/fire path
-# must stay allocation-free (TestZeroAlloc* fail otherwise).
-go test -run 'TestZeroAlloc' -count=1 ./internal/sim >/dev/null
-echo "bench: zero-alloc gates pass"
+# The gate half of `make bench`: the steady-state schedule/fire path —
+# including Engine.Reset reuse — must stay allocation-free, and a pooled
+# trial must allocate at least 5x fewer bytes than a fresh one.
+go test -run 'TestZeroAlloc|TestEngineResetZeroAlloc' -count=1 ./internal/sim >/dev/null
+go test -run 'TestTrialAllocs' -count=1 ./internal/exp >/dev/null
+echo "bench: zero-alloc and pooled-trial allocation gates pass"
