@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the full gate: vet, build,
 # a fast race pass over the runner and engine, full race-enabled tests,
 # a benchsuite smoke run, the perf smoke (microbenchmarks + allocation
-# gates -> BENCH_4.json, no wall-clock thresholds) and an end-to-end
+# gates -> BENCH_5.json, no wall-clock thresholds) and an end-to-end
 # determinism check (serial CSV output == 8-way parallel CSV output).
 
 GO ?= go
@@ -28,26 +28,29 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # Fast feedback for the packages where worker concurrency actually
-# lives: the pooled-context runner and the engine it rewinds. -short
-# keeps the pooled-vs-fresh sweep to the cheap experiments.
+# lives: the pooled-context runner, the engine it rewinds, and the
+# metrics layer (streaming recorder + windowed rollover) those share.
+# -short keeps the pooled-vs-fresh sweep to the cheap experiments
+# (which include openloop, the windowed-determinism canary).
 race-fast:
-	$(GO) test -race -short -timeout 10m ./internal/exp ./internal/sim
+	$(GO) test -race -short -timeout 10m ./internal/exp ./internal/sim ./internal/trace
 
 # A quick end-to-end run through the registry and the parallel runner.
 smoke:
 	$(GO) run ./cmd/benchsuite -exp table2 -parallel 4
 
 # The parallel runner must produce byte-identical artifacts to a serial
-# run for the same seed.
+# run for the same seed. openloop rides along because its per-window
+# CSVs are the output most sensitive to trial scheduling.
 determinism:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
-	$(GO) run ./cmd/benchsuite -exp table3 -parallel 1 -csv "$$tmp/serial" >/dev/null && \
-	$(GO) run ./cmd/benchsuite -exp table3 -parallel 8 -csv "$$tmp/parallel" >/dev/null && \
+	$(GO) run ./cmd/benchsuite -exp table3,openloop -parallel 1 -csv "$$tmp/serial" >/dev/null && \
+	$(GO) run ./cmd/benchsuite -exp table3,openloop -parallel 8 -csv "$$tmp/parallel" >/dev/null && \
 	diff -r "$$tmp/serial" "$$tmp/parallel" && \
 	echo "determinism: serial and parallel CSVs identical"
 
 # Perf trajectory: engine microbenchmarks + a fixed benchsuite smoke
-# run, recorded in BENCH_4.json. A smoke, not a threshold — except the
+# run, recorded in BENCH_5.json. A smoke, not a threshold — except the
 # zero-alloc gates, which fail the build on regression. bench-full also
 # re-measures the full-suite wall clock (minutes).
 bench:

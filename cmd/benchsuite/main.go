@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table2|...|fig10|tdx] [-full] [-seed N]
+//	benchsuite [-exp all|table2|...|fig10|tdx|openloop] [-full] [-seed N]
 //	           [-parallel N] [-fresh] [-json] [-csv DIR] [-v]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments come from the internal/exp registry; -exp list prints
-// them. All selected experiments' trials are flattened onto a single
+// them, and -exp accepts a comma-separated subset (e.g.
+// -exp table2,table5,openloop) run in registry order. All selected
+// experiments' trials are flattened onto a single
 // work-stealing pool of -parallel workers (default: GOMAXPROCS), so a
 // long trial in one experiment never idles workers that could run the
 // next experiment's trials; results are bit-identical to a serial run
@@ -32,6 +34,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,7 +45,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment to run (all, list, or a registry name)")
+	expFlag    = flag.String("exp", "all", "experiments to run (all, list, or comma-separated registry names)")
 	full       = flag.Bool("full", false, "paper-sized sweeps (slower)")
 	seed       = flag.Uint64("seed", 42, "simulation root seed")
 	parallel   = flag.Int("parallel", 0, "worker goroutines shared across all experiments (0 = GOMAXPROCS)")
@@ -111,16 +114,32 @@ func main() {
 		return
 	}
 
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(want, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			wanted[name] = true
+		}
+	}
 	var selected []*exp.Experiment
 	for _, name := range exp.Names() {
-		if want != "all" && want != name {
+		if !wanted["all"] && !wanted[name] {
 			continue
 		}
+		delete(wanted, name)
 		e, _ := exp.Lookup(name)
 		selected = append(selected, e)
 	}
+	delete(wanted, "all")
+	if len(wanted) > 0 {
+		unknown := make([]string, 0, len(wanted))
+		for name := range wanted {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		fail(2, "unknown experiment(s) %v (try -exp list)\n", unknown)
+	}
 	if len(selected) == 0 {
-		fail(2, "unknown experiment %q (try -exp list)\n", *expFlag)
+		fail(2, "no experiment selected from %q (try -exp list)\n", *expFlag)
 	}
 
 	if *cpuprofile != "" {

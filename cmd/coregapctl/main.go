@@ -27,11 +27,13 @@ import (
 	"coregap/internal/exp"
 	"coregap/internal/guest"
 	"coregap/internal/sim"
+	"coregap/internal/trace"
+	"coregap/internal/vmm"
 )
 
 var (
 	mode     = flag.String("mode", "gapped", "gapped | shared | nodeleg | busywait | busywait-deleg")
-	workload = flag.String("workload", "coremark", "coremark | coremarkpro | iozone | ipibench | kbuild | netpipe | redis")
+	workload = flag.String("workload", "coremark", "coremark | coremarkpro | iozone | ipibench | kbuild | netpipe | redis | openloop")
 	cores    = flag.Int("cores", 8, "physical cores on the node")
 	vcpus    = flag.Int("vcpus", 0, "guest vCPUs (default: cores-1 gapped, cores shared)")
 	work     = flag.Duration("work", 500*time.Millisecond, "compute per vCPU (coremark)")
@@ -40,6 +42,9 @@ var (
 	jobs     = flag.Int("jobs", 100, "compile jobs (kbuild)")
 	rounds   = flag.Int("rounds", 200, "round trips (ipibench, netpipe)")
 	msgBytes = flag.Int("bytes", 1024, "message/request size (netpipe, redis)")
+	rate     = flag.Float64("rate", 50000, "offered request rate in req/s (openloop)")
+	arrival  = flag.String("arrival", "poisson", "poisson | bursty (openloop)")
+	metwin   = flag.Duration("metwin", 10*time.Millisecond, "windowed-metrics width (openloop)")
 	seed     = flag.Uint64("seed", 1, "simulation seed")
 	expName  = flag.String("exp", "", "run a registered experiment by name instead of a single scenario")
 	list     = flag.Bool("list", false, "list the registered experiments and exit")
@@ -93,6 +98,19 @@ func main() {
 	case "redis":
 		w.Kind, w.Dev, w.Op, w.Clients, w.Bytes, w.Window =
 			exp.WLRedis, guest.SRIOVNet, guest.OpGet, 50, *msgBytes, 500*sim.Millisecond
+	case "openloop":
+		kind := vmm.ArrivalPoisson
+		switch *arrival {
+		case "poisson":
+		case "bursty":
+			kind = vmm.ArrivalBursty
+		default:
+			fmt.Fprintf(os.Stderr, "unknown arrival process %q (poisson | bursty)\n", *arrival)
+			os.Exit(2)
+		}
+		w.Kind, w.Dev, w.Op, w.Clients, w.Bytes, w.Window =
+			exp.WLOpenLoop, guest.SRIOVNet, guest.OpSet, 50, *msgBytes, 250*sim.Millisecond
+		w.Rate, w.Arrival = *rate, kind
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -104,6 +122,9 @@ func main() {
 		Cores:    *cores,
 		Workload: w,
 		Seed:     *seed,
+	}
+	if w.Kind == exp.WLOpenLoop {
+		spec.MetricsWindow = sim.Duration(metwin.Nanoseconds())
 	}
 	trial, err := exp.Execute(spec)
 	if err != nil {
@@ -130,6 +151,19 @@ func main() {
 		fmt.Printf("  %-20s %s\n", k, strings.Join(labels, ", "))
 	}
 	fmt.Printf("  %s\n", trial.Meta)
+	if len(trial.Windows) > 0 {
+		wnames := make([]string, 0, len(trial.Windows))
+		for name := range trial.Windows {
+			wnames = append(wnames, name)
+		}
+		sort.Strings(wnames)
+		for _, name := range wnames {
+			wl := trace.NewWindowLog(name, "per-window latency", spec.MetricsWindow)
+			wl.Add(name, trial.Windows[name])
+			fmt.Println()
+			fmt.Print(wl.String())
+		}
+	}
 	if *verbose && trial.Metrics != nil {
 		fmt.Println()
 		fmt.Print(trial.Metrics.String())

@@ -106,7 +106,8 @@ func TestPublicAPIExperimentRunners(t *testing.T) {
 }
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 11 {
+	// The paper's eleven plus the repo's open-loop extensions.
+	if len(Experiments()) != 13 {
 		t.Fatalf("experiments = %v", Experiments())
 	}
 	if _, ok := LookupExperiment("table2"); !ok {

@@ -49,9 +49,8 @@ func main() {
 	// ----- Drive Redis with 25 closed-loop clients. -----
 	peer := vmm.NewPeer(node.Eng, vmC.VMM.Costs(), node.Met)
 	peer.Connect(vmC.VMM.VF.DeliverToGuest)
-	hist := node.Met.Hist("redis.latency")
 	lg := vmm.NewLoadGen(peer, 25, 512,
-		func(c int) int { return coregap.EncodeOpTag(coregap.OpGet, c) }, hist)
+		func(c int) int { return coregap.EncodeOpTag(coregap.OpGet, c) }, "redis.latency")
 	vmC.VMM.VF.ConnectPeer(lg.OnResponse)
 	node.Eng.After(5*coregap.Millisecond, "load", lg.Start)
 
@@ -62,6 +61,7 @@ func main() {
 
 	fmt.Printf("\ntenant-a score: %.2f effective cores\n", cmA.Score(400*coregap.Millisecond))
 	fmt.Printf("tenant-b score: %.2f effective cores\n", cmB.Score(400*coregap.Millisecond))
+	hist := node.Met.Hist("redis.latency")
 	fmt.Printf("tenant-c redis: %d requests served, mean latency %v, p99 %v\n",
 		lg.Served(), hist.Mean(), hist.Percentile(99))
 

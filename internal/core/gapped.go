@@ -69,7 +69,7 @@ func (v *VCPU) enterGuest() {
 	}
 	n.Mon.NoteEnter(v.rec)
 	if v.haveExitStamp {
-		n.Met.Hist(v.vm.name + ".runtorun").Observe(n.Eng.Now().Sub(v.exitCompletedAt))
+		n.Met.Lat(v.vm.name+".runtorun", n.Eng.Now(), n.Eng.Now().Sub(v.exitCompletedAt))
 		v.haveExitStamp = false
 	}
 	// Context restore on the dedicated core, then guest execution.

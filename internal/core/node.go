@@ -52,6 +52,11 @@ type Options struct {
 	// PartitionLLC enables way-partitioning of the shared cache
 	// (recommended mitigation for the remaining cross-core channel).
 	PartitionLLC bool
+	// MetricsWindow, when non-zero, rolls every latency metric over
+	// fixed simulated-time windows of this width (trace.Windowed) in
+	// addition to the whole-run histograms. Windows are driven purely by
+	// engine time, so enabling them never perturbs existing artifacts.
+	MetricsWindow sim.Duration
 }
 
 // GappedDefault is the full core-gapping design.
@@ -139,6 +144,7 @@ func NewNode(cores int, opts Options, p Params, seed uint64) *Node {
 // caller owns the context's lifecycle; the node is valid until the
 // context's next Reset.
 func NewNodeIn(ctx *Context, opts Options, p Params) *Node {
+	ctx.Met.SetWindow(opts.MetricsWindow)
 	n := &Node{
 		Eng:     ctx.Eng,
 		Mach:    ctx.Mach,

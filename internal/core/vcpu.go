@@ -242,7 +242,7 @@ func (v *VCPU) footprint() float64 {
 func (v *VCPU) deliverEvent(ev guest.Event) bool {
 	if ev.Kind == guest.EvVIPI && v.idx < len(v.vm.vipiSentAt) {
 		if t := v.vm.vipiSentAt[v.idx]; t != 0 {
-			v.node().Met.Hist(v.vm.name + ".vipi.latency").Observe(v.eng().Now().Sub(t))
+			v.node().Met.Lat(v.vm.name+".vipi.latency", v.eng().Now(), v.eng().Now().Sub(t))
 			v.vm.vipiSentAt[v.idx] = 0
 		}
 	}

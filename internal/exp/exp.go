@@ -32,6 +32,7 @@ import (
 	"coregap/internal/core"
 	"coregap/internal/guest"
 	"coregap/internal/sim"
+	"coregap/internal/vmm"
 )
 
 // Config names one of the execution policies the evaluation sweeps. It is
@@ -112,6 +113,9 @@ const (
 	WLIOzone WorkloadKind = "iozone"
 	// WLRedis: closed-loop Clients load of Op requests for Window.
 	WLRedis WorkloadKind = "redis"
+	// WLOpenLoop: open-loop Rate req/s of Op requests (Arrival process)
+	// for Window, with per-window SLO tails and collapse detection.
+	WLOpenLoop WorkloadKind = "openloop"
 	// WLKBuild: parallel kernel build, Jobs jobs on VCPUs vCPUs.
 	WLKBuild WorkloadKind = "kbuild"
 
@@ -144,9 +148,13 @@ type Workload struct {
 	Dev    guest.DeviceClass // NIC/disk class (netpipe, redis)
 
 	Op      guest.RedisOp // redis operation
-	Clients int           // closed-loop clients (redis)
-	Window  sim.Duration  // measurement window (redis)
+	Clients int           // closed-loop clients (redis) / connection pool (openloop)
+	Window  sim.Duration  // measurement window (redis, openloop)
 	Write   bool          // write instead of read (iozone)
+
+	Rate    float64         // offered req/s (openloop)
+	Arrival vmm.ArrivalKind // arrival process (openloop)
+	SLO     sim.Duration    // per-window p99 target (openloop)
 
 	Ops      int               // stage-2 updates (ptchurn)
 	Frac     float64           // unprotected fraction (ptchurn)
@@ -168,6 +176,11 @@ type ScenarioSpec struct {
 	Seed uint64
 	// Horizon bounds simulated time; 0 picks a kind-appropriate default.
 	Horizon sim.Duration
+	// MetricsWindow, when non-zero, rolls every latency metric over
+	// fixed simulated-time windows of this width; the interpreter
+	// publishes the closed windows in Trial.Windows. Zero keeps the
+	// whole-run histograms only.
+	MetricsWindow sim.Duration
 
 	// Series/X place the trial's results on a figure: reducers group by
 	// Series label and plot at coordinate X. Unused by table reducers.

@@ -14,7 +14,10 @@ import (
 func poolingTestExperiments(t *testing.T) []string {
 	t.Helper()
 	if testing.Short() {
-		return []string{"table2", "table3", "fig3", "tdx"}
+		// openloop rides in the short set deliberately: it is the one
+		// experiment whose report includes per-window tails, so this is
+		// where windowed-metrics determinism under pooling is enforced.
+		return []string{"table2", "table3", "fig3", "tdx", "openloop"}
 	}
 	return Names()
 }

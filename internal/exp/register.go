@@ -1,7 +1,8 @@
 package exp
 
 // All eleven experiments of the paper's evaluation, registered in the
-// paper's presentation order (the order benchsuite prints with -exp all).
+// paper's presentation order (the order benchsuite prints with -exp all),
+// followed by the repo's open-loop extensions.
 func init() {
 	for _, e := range []*Experiment{
 		expTable2,
@@ -15,6 +16,8 @@ func init() {
 		expFig9,
 		expTDX,
 		expFig10,
+		expOpenLoop,
+		expOpenLoopBurst,
 	} {
 		Register(e)
 	}

@@ -31,6 +31,16 @@ func renderReport(t *testing.T, rep *Report) string {
 		b.WriteString(meta.String())
 		b.WriteByte('\n')
 		b.WriteString(trialValues(tr))
+		var wnames []string
+		for name := range tr.Windows {
+			wnames = append(wnames, name)
+		}
+		sort.Strings(wnames)
+		for _, name := range wnames {
+			for _, st := range tr.Windows[name] {
+				fmt.Fprintf(&b, "win %s %+v\n", name, st)
+			}
+		}
 	}
 	return b.String()
 }
@@ -163,10 +173,12 @@ func TestRunnerRepeatable(t *testing.T) {
 }
 
 // TestRegistryComplete: all eleven experiments of the evaluation are
-// registered, in the paper's presentation order, and resolvable by name.
+// registered in the paper's presentation order, followed by the repo's
+// open-loop extensions, and resolvable by name.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "table3", "table4", "table5", "fig3",
-		"fig6", "fig7", "fig8", "fig9", "tdx", "fig10"}
+		"fig6", "fig7", "fig8", "fig9", "tdx", "fig10",
+		"openloop", "openloop-burst"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered = %v, want %v", got, want)

@@ -28,6 +28,13 @@ type Trial struct {
 	Values map[string]float64
 	Labels map[string][]string
 	Meta   trace.RunMeta
+	// Windows holds the closed per-window latency summaries of every
+	// windowed metric, keyed by metric name, when the spec set a
+	// MetricsWindow. The stats are copied out of the (possibly pooled)
+	// metric set at trial finish, so they stay valid after the worker's
+	// context is recycled. Like Values, they are a pure function of the
+	// spec: windows live on the absolute simulated-time grid.
+	Windows map[string][]trace.WindowStat
 	// Metrics is the node's full metric set, nil for raw-transport
 	// trials. Reducers must not depend on it; it exists for workbench
 	// consumers (cmd/coregapctl -v). Only fresh-context execution
@@ -88,6 +95,8 @@ func ExecuteIn(ctx *TrialContext, spec ScenarioSpec) (t Trial, err error) {
 		err = t.runIOzone(ctx, spec)
 	case WLRedis:
 		err = t.runRedis(ctx, spec)
+	case WLOpenLoop:
+		err = t.runOpenLoop(ctx, spec)
 	case WLKBuild:
 		err = t.runKBuild(ctx, spec)
 	case WLNullRMMAsync:
@@ -120,10 +129,20 @@ func (t *Trial) newNode(ctx *TrialContext, spec ScenarioSpec) *core.Node {
 	return n
 }
 
-// finishNode captures engine statistics and the standard per-VM counters.
+// finishNode captures engine statistics, the standard per-VM counters,
+// and — when the trial ran with a metrics window — the closed window
+// summaries of every windowed metric.
 func (t *Trial) finishNode(n *core.Node) {
 	t.Meta.Simulated = sim.Duration(n.Eng.Now())
 	t.Meta.Events = n.Eng.EventsFired()
+	if names := n.Met.WindowedNames(); len(names) > 0 {
+		t.Windows = make(map[string][]trace.WindowStat, len(names))
+		for _, name := range names {
+			w := n.Met.Windowed(name)
+			w.Flush(n.Eng.Now())
+			t.Windows[name] = append([]trace.WindowStat(nil), w.Stats()...)
+		}
+	}
 	if n.Met.HasCounter("vm0.exits.total") {
 		t.Values["exits.total"] = float64(n.Met.Counter("vm0.exits.total").Value())
 		t.Values["exits.interrupt"] = float64(n.Met.Counter("vm0.exits.interrupt").Value())
@@ -233,8 +252,7 @@ func (t *Trial) runNetPIPE(ctx *TrialContext, spec ScenarioSpec) error {
 		return err
 	}
 	peer := vmm.NewPeer(n.Eng, vm.VMM.Costs(), n.Met)
-	hist := n.Met.Hist("netpipe.rtt")
-	pp := vmm.NewPingPong(peer, w.Bytes, w.Rounds, hist, nil)
+	pp := vmm.NewPingPong(peer, w.Bytes, w.Rounds, "netpipe.rtt", nil)
 	switch w.Dev {
 	case guest.VirtioNet:
 		peer.Connect(vm.VMM.Net.DeliverToGuest)
@@ -252,7 +270,7 @@ func (t *Trial) runNetPIPE(ctx *TrialContext, spec ScenarioSpec) error {
 	if pp.Done() < w.Rounds {
 		return fmt.Errorf("netpipe: only %d/%d rounds (%v %dB)", pp.Done(), w.Rounds, w.Dev, w.Bytes)
 	}
-	t.Values["rtt.ns"] = float64(hist.Mean())
+	t.Values["rtt.ns"] = float64(n.Met.Hist("netpipe.rtt").Mean())
 	t.finishNode(n)
 	return nil
 }
@@ -289,9 +307,8 @@ func (t *Trial) runRedis(ctx *TrialContext, spec ScenarioSpec) error {
 	}
 	peer := vmm.NewPeer(n.Eng, vm.VMM.Costs(), n.Met)
 	peer.Connect(vm.VMM.VF.DeliverToGuest)
-	hist := n.Met.Hist("redis.latency")
 	lg := vmm.NewLoadGen(peer, w.Clients, w.Bytes,
-		func(c int) int { return guest.EncodeOpTag(w.Op, c) }, hist)
+		func(c int) int { return guest.EncodeOpTag(w.Op, c) }, "redis.latency")
 	vm.VMM.VF.ConnectPeer(lg.OnResponse)
 
 	n.Eng.After(5*sim.Millisecond, "start-load", lg.Start)
@@ -301,6 +318,7 @@ func (t *Trial) runRedis(ctx *TrialContext, spec ScenarioSpec) error {
 	served := lg.Served() - warmupServed
 	lg.Stop()
 
+	hist := n.Met.Hist("redis.latency")
 	t.Values["krps"] = float64(served) / w.Window.Seconds() / 1000
 	t.Values["lat.mean.ns"] = float64(hist.Mean())
 	t.Values["lat.p95.ns"] = float64(hist.Percentile(95))

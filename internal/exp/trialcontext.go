@@ -37,11 +37,13 @@ func NewTrialContext() *TrialContext {
 // context (fresh-execution mode) builds everything from scratch,
 // which is the reference behaviour pooling must reproduce exactly.
 func (c *TrialContext) node(spec ScenarioSpec) *core.Node {
+	opts := spec.Config.Options()
+	opts.MetricsWindow = spec.MetricsWindow
 	if c == nil {
-		return core.NewNode(spec.Cores, spec.Config.Options(), core.DefaultParams(), spec.Seed)
+		return core.NewNode(spec.Cores, opts, core.DefaultParams(), spec.Seed)
 	}
 	c.core.Reset(spec.Cores, spec.Seed)
-	return core.NewNodeIn(c.core, spec.Config.Options(), core.DefaultParams())
+	return core.NewNodeIn(c.core, opts, core.DefaultParams())
 }
 
 // engine resets the context to a cores-core machine for seed and

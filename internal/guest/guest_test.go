@@ -284,3 +284,27 @@ func TestStringers(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeOpTagBounds: the tag packs the client id into 24 bits; an id
+// outside [0, 2^24) would silently alias another client's in-flight
+// request, so encoding must refuse it loudly.
+func TestEncodeOpTagBounds(t *testing.T) {
+	mustPanic := func(id int) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("EncodeOpTag(%d) did not panic", id)
+			}
+		}()
+		EncodeOpTag(OpGet, id)
+	}
+	mustPanic(-1)
+	mustPanic(1 << 24)
+	mustPanic(1<<24 + 5)
+
+	for _, id := range []int{0, 1, 1<<24 - 1} {
+		op, got := DecodeOpTag(EncodeOpTag(OpSet, id))
+		if op != OpSet || got != id {
+			t.Fatalf("round trip id %d: got %v %d", id, op, got)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package guest
 
 import (
+	"fmt"
+
 	"coregap/internal/sim"
 )
 
@@ -116,8 +118,17 @@ func (r *Redis) Served() uint64 { return r.served }
 // Backlog reports queued, unserved requests.
 func (r *Redis) Backlog() int { return len(r.pending) }
 
-// EncodeOpTag packs an operation and a client id into an event tag.
-func EncodeOpTag(op RedisOp, clientID int) int { return int(op)<<24 | clientID }
+// EncodeOpTag packs an operation and a client id into an event tag. The
+// client id occupies the low 24 bits; an out-of-range id would silently
+// corrupt the operation on decode (the overflow bits OR into the op
+// field), so it panics instead — open-loop runs model tens of thousands
+// of connections and must fail loudly, not serve the wrong op.
+func EncodeOpTag(op RedisOp, clientID int) int {
+	if clientID < 0 || clientID >= 1<<24 {
+		panic(fmt.Sprintf("guest: EncodeOpTag client id %d out of range [0, 2^24)", clientID))
+	}
+	return int(op)<<24 | clientID
+}
 
 // DecodeOpTag unpacks an event tag.
 func DecodeOpTag(tag int) (RedisOp, int) { return RedisOp(tag >> 24), tag & 0xffffff }

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/csv"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,12 +37,23 @@ func (f *Figure) CSV() string {
 		for _, l := range f.order {
 			b.WriteByte(',')
 			if y, ok := f.series[l].YAt(x); ok {
-				fmt.Fprintf(&b, "%g", y)
+				b.WriteString(csvFloat(y))
 			}
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// csvFloat renders a y value for CSV. A NaN or infinite value — a
+// division by an empty window, an uninitialized reduction — renders as
+// an empty cell (missing point) rather than poisoning the file with a
+// token downstream plotting can't parse.
+func csvFloat(y float64) string {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return ""
+	}
+	return strconv.FormatFloat(y, 'g', -1, 64)
 }
 
 // CSV renders the table as comma-separated values: a header with the

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"coregap/internal/sim"
+)
+
+// TestRecorderExactMoments: Count, Sum, Min, Max, Mean and Stddev carry
+// no binning error whatsoever — only percentiles are quantized.
+func TestRecorderExactMoments(t *testing.T) {
+	var r Recorder
+	vals := []int64{3, 17, 16384, 16385, 1 << 30, (1 << 30) + 12345, 999_999_999_999}
+	var sum int64
+	for _, v := range vals {
+		r.Record(v)
+		sum += v
+	}
+	if r.Count() != uint64(len(vals)) || r.Sum() != sum {
+		t.Fatalf("count/sum = %d/%d, want %d/%d", r.Count(), r.Sum(), len(vals), sum)
+	}
+	if r.Min() != 3 || r.Max() != 999_999_999_999 {
+		t.Fatalf("min/max = %d/%d", r.Min(), r.Max())
+	}
+	mean := float64(sum) / float64(len(vals))
+	if r.Mean() != mean {
+		t.Fatalf("mean = %v, want %v", r.Mean(), mean)
+	}
+	var ss float64
+	for _, v := range vals {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	want := math.Sqrt(ss / float64(len(vals)-1))
+	if got := r.Stddev(); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+}
+
+// TestRecorderSegmentBoundaries: values at the exact/log segment seams
+// and at bucket edges quantize within one bucket width and never move
+// outside [Min, Max].
+func TestRecorderSegmentBoundaries(t *testing.T) {
+	for _, v := range []int64{0, 1, recSubCount - 1, recSubCount, recSubCount + 1,
+		2*recSubCount - 1, 2 * recSubCount, 1<<20 - 1, 1 << 20, 1<<40 + 7} {
+		var r Recorder
+		r.Record(v)
+		got := r.Percentile(50)
+		if got != v {
+			// A single sample: p50 quantizes to the bucket top but the
+			// [min,max] clamp must pull it back to the exact value.
+			t.Fatalf("single-sample p50(%d) = %d", v, got)
+		}
+	}
+}
+
+// TestRecorderNegativeValues: negatives are accepted (bucket 0) with
+// exact min/sum.
+func TestRecorderNegativeValues(t *testing.T) {
+	var r Recorder
+	r.Record(-5)
+	r.Record(10)
+	if r.Min() != -5 || r.Max() != 10 || r.Sum() != 5 {
+		t.Fatalf("min/max/sum = %d/%d/%d", r.Min(), r.Max(), r.Sum())
+	}
+	// Negatives quantize to bucket zero, so the low percentile reads 0 —
+	// inside [Min, Max] — while Min stays exact.
+	if p := r.Percentile(1); p < r.Min() || p > 0 {
+		t.Fatalf("p1 = %d, want in [-5, 0]", p)
+	}
+}
+
+// TestRecorderStddevLargeValues: the 128-bit sum of squares stays exact
+// where a float64 accumulator loses the small components entirely.
+func TestRecorderStddevLargeValues(t *testing.T) {
+	var r Recorder
+	base := int64(1) << 40 // ~18 min in ns; base^2 = 2^80 dwarfs float64's 53-bit mantissa
+	vals := []int64{base, base + 1000, base + 2000}
+	for _, v := range vals {
+		r.Record(v)
+	}
+	// Exact sample stddev of {0, 1000, 2000} shifted by base: 1000.
+	if got := r.Stddev(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("stddev = %v, want 1000", got)
+	}
+}
+
+// TestRecorderZeroAlloc is the hot-path allocation gate (wired into
+// make check): once a recorder has touched its value range, Record must
+// not allocate, and Reset must recycle the pages rather than dropping
+// them.
+func TestRecorderZeroAlloc(t *testing.T) {
+	var r Recorder
+	vals := []int64{5, 5000, 20_000, 1 << 21, 1 << 34}
+	for _, v := range vals {
+		r.Record(v) // fault in the pages
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for _, v := range vals {
+			r.Record(v)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %v/run at steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.Reset()
+		for _, v := range vals {
+			r.Record(v)
+		}
+		_ = r.Percentile(99)
+	}); allocs != 0 {
+		t.Fatalf("Reset+Record+Percentile allocates %v/run, want 0", allocs)
+	}
+}
+
+// TestWindowedRolls: samples land in absolute-grid windows, empty
+// interior windows are emitted, and Flush closes the final partial
+// window.
+func TestWindowedRolls(t *testing.T) {
+	w := &Windowed{name: "lat", width: 100}
+	w.Observe(10, 7)
+	w.Observe(20, 9)
+	w.Observe(250, 40) // skips window 1 entirely
+	w.Flush(310)
+
+	stats := w.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("windows = %d, want 4 (incl. empty #1 and final partial)", len(stats))
+	}
+	if stats[0].Index != 0 || stats[0].Count != 2 || stats[0].Max != 9 {
+		t.Fatalf("window 0 = %+v", stats[0])
+	}
+	if stats[1].Index != 1 || stats[1].Count != 0 {
+		t.Fatalf("empty interior window = %+v", stats[1])
+	}
+	if stats[2].Index != 2 || stats[2].Count != 1 || stats[2].P99 != 40 {
+		t.Fatalf("window 2 = %+v", stats[2])
+	}
+	if stats[3].Index != 3 || stats[3].Count != 0 {
+		t.Fatalf("final window = %+v", stats[3])
+	}
+	if stats[1].Start != 100 || stats[1].End != 200 {
+		t.Fatalf("window 1 bounds = [%v, %v)", stats[1].Start, stats[1].End)
+	}
+}
+
+// TestWindowedZeroAlloc: at steady state (pages faulted, stats capacity
+// grown) an observe/flush/reset cycle allocates nothing.
+func TestWindowedZeroAlloc(t *testing.T) {
+	w := &Windowed{name: "lat", width: 100}
+	warm := func() {
+		for i := 0; i < 20; i++ {
+			w.Observe(sim.Time(i*37), sim.Duration(1000+i*500))
+		}
+		w.Flush(sim.Time(20 * 37))
+	}
+	warm()
+	w.reset()
+	if allocs := testing.AllocsPerRun(100, func() {
+		warm()
+		w.reset()
+	}); allocs != 0 {
+		t.Fatalf("windowed cycle allocates %v/run at steady state, want 0", allocs)
+	}
+}
+
+// TestSetLatAndWindowReset: Lat feeds both the whole-run histogram and
+// (when enabled) the windowed metric; Reset clears the window config and
+// revives recycled metrics clean.
+func TestSetLatAndWindowReset(t *testing.T) {
+	s := NewSet()
+	s.Lat("rtt", 50, 500) // windows disabled: histogram only
+	if len(s.WindowedNames()) != 0 {
+		t.Fatal("windowed metric created without a window width")
+	}
+	s.SetWindow(100)
+	s.Lat("rtt", 150, 700)
+	s.Lat("rtt", 250, 900)
+	if got := s.Hist("rtt").Count(); got != 3 {
+		t.Fatalf("hist count = %d, want 3 (all Lat calls)", got)
+	}
+	w := s.Windowed("rtt")
+	w.Flush(260)
+	if got := len(w.Stats()); got != 2 {
+		t.Fatalf("windows = %d, want 2", got)
+	}
+	if names := s.WindowedNames(); len(names) != 1 || names[0] != "rtt" {
+		t.Fatalf("WindowedNames = %v", names)
+	}
+	if !strings.Contains(s.String(), "windowed") {
+		t.Fatal("String() missing windowed section")
+	}
+
+	s.Reset()
+	if s.WindowWidth() != 0 {
+		t.Fatal("Reset kept the window width")
+	}
+	if len(s.WindowedNames()) != 0 {
+		t.Fatal("Reset left windowed metrics visible")
+	}
+	s.SetWindow(200)
+	w2 := s.Windowed("rtt")
+	if w2 != w {
+		t.Fatal("windowed metric not recycled in place")
+	}
+	if len(w2.Stats()) != 0 || w2.Width() != 200 {
+		t.Fatalf("revived metric dirty: stats=%d width=%v", len(w2.Stats()), w2.Width())
+	}
+}
+
+// TestRecorderVsExactHistEquivalence is the cross-check the refactor
+// rests on: against an exact sorted-sample oracle over a realistic
+// latency-shaped distribution, every queried percentile agrees within
+// the recorder's bucket resolution.
+func TestRecorderVsExactHistEquivalence(t *testing.T) {
+	src := sim.NewSource(7)
+	var r Recorder
+	var exact []int64
+	for i := 0; i < 100_000; i++ {
+		// Exponential-ish spread across 4 decades: 1 us .. 10 ms.
+		v := int64(src.Exp(sim.Duration(50_000))) + int64(src.Duration(1000, 2000))
+		r.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{0, 1, 10, 25, 50, 75, 90, 95, 99, 99.9, 99.99, 100} {
+		rank := int(math.Ceil(p / 100 * float64(len(exact))))
+		if rank < 1 {
+			rank = 1
+		}
+		want := exact[rank-1]
+		if p <= 0 {
+			want = exact[0]
+		}
+		if p >= 100 {
+			want = exact[len(exact)-1]
+		}
+		got := r.Percentile(p)
+		width := want >> recSubBits
+		if width < 1 {
+			width = 1
+		}
+		if got < want || got > want+width {
+			t.Fatalf("p%v = %d, exact %d (allowed +%d)", p, got, want, width)
+		}
+	}
+}

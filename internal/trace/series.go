@@ -21,7 +21,10 @@ type Series struct {
 // Add appends a point to the series.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
 
-// YAt reports the y value at the given x, or (0, false) when absent.
+// YAt reports the y value at the given x. The zero-value contract: a
+// miss — including any lookup on an empty series — is (0, false), never
+// NaN or garbage, so renderers can use the boolean alone to decide
+// between the value and an empty cell.
 func (s *Series) YAt(x float64) (float64, bool) {
 	for _, p := range s.Points {
 		if p.X == x {
@@ -31,7 +34,11 @@ func (s *Series) YAt(x float64) (float64, bool) {
 	return 0, false
 }
 
-// MaxY reports the largest y value in the series (0 when empty).
+// MaxY reports the largest y value in the series. The zero-value
+// contract: an empty series reports exactly 0 (not NaN, not -Inf), so a
+// windowed series whose leading windows are all empty still scales a
+// plot axis sanely. Callers that must distinguish "max is 0" from "no
+// points" check len(s.Points).
 func (s *Series) MaxY() float64 {
 	var m float64
 	for i, p := range s.Points {

@@ -5,8 +5,6 @@ package trace
 
 import (
 	"fmt"
-	"math"
-	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -33,109 +31,74 @@ func (c *Counter) Inc() { c.n++ }
 // Value reports the current count.
 func (c *Counter) Value() uint64 { return c.n }
 
-// Hist records duration samples and answers mean/percentile queries.
-// Samples are stored exactly; runs in this repository are small enough
-// (≤ a few million samples) that exact percentiles are affordable and
-// remove any binning artefacts from reproduced numbers.
+// Hist records duration samples and answers mean/percentile queries. It
+// is a streaming log-linear Recorder (see recorder.go): memory is bounded
+// and deterministic regardless of sample count, the record path is
+// allocation-free at steady state, and only percentile queries see the
+// bucket resolution (relative error below 2^-14 — invisible at the 2-4
+// significant digits every reproduced artifact prints). Count, Sum, Min,
+// Max, Mean and Stddev are exact.
 //
-// Samples and the running sum are kept as int64 nanoseconds. The sum in
-// particular must not be a float64: past ~2^53 accumulated nanoseconds
-// (a few months of simulated time, easily reached by long sweeps)
-// float64 addition silently drops low-order sample bits, skewing Mean
-// and Sum. Integer accumulation is exact over the full int64 range.
+// The running sum is kept as int64 nanoseconds. It must not be a
+// float64: past ~2^53 accumulated nanoseconds (a few months of simulated
+// time, easily reached by long sweeps) float64 addition silently drops
+// low-order sample bits, skewing Mean and Sum. Integer accumulation is
+// exact over the full int64 range.
 type Hist struct {
-	name    string
-	samples []int64 // nanoseconds; int64 so percentile sorts use slices.Sort's unboxed fast path
-	sorted  bool
-	sum     int64
-	epoch   uint64
+	name  string
+	rec   Recorder
+	epoch uint64
 }
 
 // Name reports the histogram's name.
 func (h *Hist) Name() string { return h.name }
 
 // Observe records one sample.
-func (h *Hist) Observe(d sim.Duration) {
-	h.samples = append(h.samples, int64(d))
-	h.sum += int64(d)
-	h.sorted = false
-}
+func (h *Hist) Observe(d sim.Duration) { h.rec.Record(int64(d)) }
 
 // Count reports the number of samples.
-func (h *Hist) Count() int { return len(h.samples) }
+func (h *Hist) Count() int { return int(h.rec.Count()) }
 
 // Mean reports the arithmetic mean, or 0 with no samples.
 func (h *Hist) Mean() sim.Duration {
-	if len(h.samples) == 0 {
+	if h.rec.Count() == 0 {
 		return 0
 	}
-	return sim.Duration(float64(h.sum) / float64(len(h.samples)))
+	return sim.Duration(float64(h.rec.Sum()) / float64(h.rec.Count()))
 }
 
 // Sum reports the exact total of all samples.
-func (h *Hist) Sum() sim.Duration { return sim.Duration(h.sum) }
+func (h *Hist) Sum() sim.Duration { return sim.Duration(h.rec.Sum()) }
 
-// Reset empties the histogram but keeps the sample slice's capacity, so
+// Reset empties the histogram but keeps the recorder's bucket pages, so
 // a pooled histogram reused across trials reaches steady state with no
 // per-trial allocation.
-func (h *Hist) Reset() {
-	h.samples = h.samples[:0]
-	h.sum = 0
-	h.sorted = false
-}
-
-func (h *Hist) sortSamples() {
-	if !h.sorted {
-		slices.Sort(h.samples)
-		h.sorted = true
-	}
-}
+func (h *Hist) Reset() { h.rec.Reset() }
 
 // Percentile reports the p-th percentile (p in [0,100]) using
-// nearest-rank; 0 with no samples.
+// nearest-rank; 0 with no samples. The result is quantized to the
+// recorder's bucket resolution (relative error < 2^-14) and clamped into
+// [Min, Max]; p <= 0 and p >= 100 are the exact extremes.
 func (h *Hist) Percentile(p float64) sim.Duration {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortSamples()
-	if p <= 0 {
-		return sim.Duration(h.samples[0])
-	}
-	if p >= 100 {
-		return sim.Duration(h.samples[len(h.samples)-1])
-	}
-	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
-	if rank < 1 {
-		rank = 1
-	}
-	return sim.Duration(h.samples[rank-1])
+	return sim.Duration(h.rec.Percentile(p))
 }
 
 // Min reports the smallest sample, or 0 with no samples.
-func (h *Hist) Min() sim.Duration { return h.Percentile(0) }
+func (h *Hist) Min() sim.Duration { return sim.Duration(h.rec.Min()) }
 
 // Max reports the largest sample, or 0 with no samples.
-func (h *Hist) Max() sim.Duration { return h.Percentile(100) }
+func (h *Hist) Max() sim.Duration { return sim.Duration(h.rec.Max()) }
 
-// Stddev reports the sample standard deviation.
+// Stddev reports the sample standard deviation (exact: the recorder
+// keeps a 128-bit sum of squares).
 func (h *Hist) Stddev() sim.Duration {
-	n := len(h.samples)
-	if n < 2 {
-		return 0
-	}
-	mean := float64(h.sum) / float64(n)
-	var ss float64
-	for _, s := range h.samples {
-		d := float64(s) - mean
-		ss += d * d
-	}
-	return sim.Duration(math.Sqrt(ss / float64(n-1)))
+	return sim.Duration(h.rec.Stddev())
 }
 
-// histPool recycles histograms — and, through Reset, their grown sample
-// slices — across trials. The parallel experiment runner executes tens
-// of thousands of short trials; without pooling each one grows a fresh
-// exact-sample slice only to drop it at reduction time.
+// histPool recycles histograms — and, through Reset, their allocated
+// bucket pages — across trials. The parallel experiment runner executes
+// tens of thousands of short trials; without pooling each one touches
+// fresh recorder pages only to drop them at reduction time.
 var histPool = sync.Pool{New: func() any { return new(Hist) }}
 
 // AcquireHist returns an empty histogram from the package pool. Use for
@@ -207,6 +170,11 @@ type Set struct {
 	counters map[string]*Counter
 	hists    map[string]*Hist
 	gauges   map[string]*Gauge
+
+	// winWidth enables windowed recording (see Lat): 0 means whole-run
+	// histograms only. It is per-run configuration, cleared by Reset.
+	winWidth sim.Duration
+	wins     map[string]*Windowed
 }
 
 // NewSet returns an empty metric set.
@@ -215,13 +183,39 @@ func NewSet() *Set {
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Hist),
 		gauges:   make(map[string]*Gauge),
+		wins:     make(map[string]*Windowed),
 	}
 }
 
 // Reset logically empties the set: every metric registered so far drops
 // out of the visible namespace and will be revived, zeroed but with its
-// backing storage intact, on next use.
-func (s *Set) Reset() { s.epoch++ }
+// backing storage intact, on next use. The window width is per-run
+// configuration and is cleared too — the next run opts back in with
+// SetWindow.
+func (s *Set) Reset() {
+	s.epoch++
+	s.winWidth = 0
+}
+
+// SetWindow enables windowed latency recording with the given window
+// width (0 disables it). Call once at run setup, before any Lat.
+func (s *Set) SetWindow(width sim.Duration) { s.winWidth = width }
+
+// WindowWidth reports the configured window width (0: windows disabled).
+func (s *Set) WindowWidth() sim.Duration { return s.winWidth }
+
+// Lat records one latency observation made at simulated time now: always
+// into the named whole-run histogram, and — when a window width is set —
+// into the like-named windowed metric as well. It is the single record
+// site every latency producer (vcpu wake paths, device completions, load
+// generators) goes through, so enabling windows never changes whole-run
+// artifacts.
+func (s *Set) Lat(name string, now sim.Time, d sim.Duration) {
+	s.Hist(name).Observe(d)
+	if s.winWidth > 0 {
+		s.Windowed(name).Observe(now, d)
+	}
+}
 
 // Counter returns the named counter, creating it on first use.
 func (s *Set) Counter(name string) *Counter {
@@ -261,6 +255,25 @@ func (s *Set) Gauge(name string) *Gauge {
 	return g
 }
 
+// Windowed returns the named windowed latency metric, creating it on
+// first use with the set's configured window width. Calling it with
+// windows disabled is a programming error.
+func (s *Set) Windowed(name string) *Windowed {
+	if s.winWidth <= 0 {
+		panic(fmt.Sprintf("trace: Windowed(%q) with no window width set; call Set.SetWindow first", name))
+	}
+	w, ok := s.wins[name]
+	if !ok {
+		w = &Windowed{name: name, width: s.winWidth, epoch: s.epoch}
+		s.wins[name] = w
+	} else if w.epoch != s.epoch || w.width != s.winWidth {
+		w.epoch = s.epoch
+		w.width = s.winWidth
+		w.reset()
+	}
+	return w
+}
+
 // HasCounter reports whether the named counter exists (without creating it).
 func (s *Set) HasCounter(name string) bool {
 	c, ok := s.counters[name]
@@ -291,6 +304,21 @@ func (s *Set) HistNames() []string {
 	return names
 }
 
+// WindowedNames reports all windowed metric names, sorted. Only metrics
+// touched since the last Reset are visible, matching the epoch contract
+// of every other accessor. A metric revived with a stale width is still
+// live — width mismatches are fixed up on access, not here.
+func (s *Set) WindowedNames() []string {
+	names := make([]string, 0, len(s.wins))
+	for n, w := range s.wins {
+		if w.epoch == s.epoch {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // String renders the set as a human-readable report.
 func (s *Set) String() string {
 	var b strings.Builder
@@ -301,6 +329,10 @@ func (s *Set) String() string {
 		h := s.hists[n]
 		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
 			n, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+	}
+	for _, n := range s.WindowedNames() {
+		w := s.wins[n]
+		fmt.Fprintf(&b, "windowed %-39s width=%v closed=%d\n", n, w.width, len(w.stats))
 	}
 	return b.String()
 }

@@ -1,0 +1,194 @@
+package vmm
+
+import (
+	"coregap/internal/sim"
+)
+
+// ArrivalKind names an open-loop arrival process.
+type ArrivalKind int
+
+// Arrival processes.
+const (
+	// ArrivalPoisson draws i.i.d. exponential interarrivals: the
+	// classical open-loop M/./1 offered load.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalBursty modulates a Poisson process with a deterministic
+	// ON/OFF duty cycle: during ON the instantaneous rate is
+	// rate/BurstDuty (so the long-run mean stays at rate), during OFF no
+	// requests arrive. This is the adversarial arrival shape for tail
+	// SLOs — the same mean load arrives in concentrated bursts.
+	ArrivalBursty ArrivalKind = iota
+)
+
+func (k ArrivalKind) String() string {
+	if k == ArrivalBursty {
+		return "bursty"
+	}
+	return "poisson"
+}
+
+// OpenLoadGen is the open-loop counterpart of LoadGen: requests arrive
+// on their own clock — an arrival process with a fixed offered rate —
+// whether or not earlier requests have completed. Unlike a closed loop,
+// which self-throttles when the server slows down (coordinated
+// omission), an open loop keeps offering load, so queueing delay shows
+// up in full in the recorded latencies: this is the generator that makes
+// tail-SLO and queueing-collapse behaviour visible.
+//
+// Arrivals round-robin over a pool of connection ids; each connection
+// keeps a FIFO queue of send timestamps. The Redis guest model serves
+// strictly in arrival order, so replies on one connection return in that
+// connection's send order and the FIFO matching is exact.
+type OpenLoadGen struct {
+	peer     *Peer
+	reqBytes int
+	mkTag    func(client int) int
+	metric   string
+
+	kind ArrivalKind
+	rate float64 // offered req/s (long-run mean)
+	src  *sim.Source
+
+	// Bursty shape: cycle period and ON fraction.
+	burstPeriod sim.Duration
+	burstDuty   float64
+
+	clients int
+	sentAt  [][]sim.Time // per-connection FIFO of in-flight send times
+
+	sent    uint64
+	served  uint64
+	dropped uint64 // replies with no matching in-flight request (modelling bug guard)
+	stopped bool
+}
+
+// OpenLoadConfig parameterizes NewOpenLoadGen.
+type OpenLoadConfig struct {
+	Kind     ArrivalKind
+	Rate     float64 // offered req/s, > 0
+	Clients  int     // connection pool size, > 0
+	ReqBytes int
+	// Bursty shape; ignored for Poisson. Zero values default to a 10 ms
+	// period with a 20% duty cycle.
+	BurstPeriod sim.Duration
+	BurstDuty   float64
+}
+
+// NewOpenLoadGen builds the generator. mkTag produces the request tag
+// for a connection id; latencies are recorded at completion time into
+// the peer's metric set under metric. src must be one of the engine's
+// named sources so runs stay deterministic.
+func NewOpenLoadGen(peer *Peer, cfg OpenLoadConfig, mkTag func(int) int, metric string, src *sim.Source) *OpenLoadGen {
+	if cfg.Rate <= 0 {
+		panic("vmm: OpenLoadGen rate must be positive")
+	}
+	if cfg.Clients <= 0 {
+		panic("vmm: OpenLoadGen needs at least one connection")
+	}
+	if cfg.BurstPeriod <= 0 {
+		cfg.BurstPeriod = 10 * sim.Millisecond
+	}
+	if cfg.BurstDuty <= 0 || cfg.BurstDuty > 1 {
+		cfg.BurstDuty = 0.2
+	}
+	g := &OpenLoadGen{
+		peer:        peer,
+		reqBytes:    cfg.ReqBytes,
+		mkTag:       mkTag,
+		metric:      metric,
+		kind:        cfg.Kind,
+		rate:        cfg.Rate,
+		src:         src,
+		burstPeriod: cfg.BurstPeriod,
+		burstDuty:   cfg.BurstDuty,
+		clients:     cfg.Clients,
+		sentAt:      make([][]sim.Time, cfg.Clients),
+	}
+	return g
+}
+
+// Start schedules the first arrival.
+func (g *OpenLoadGen) Start() { g.scheduleNext() }
+
+// meanGap is the mean interarrival time of the long-run offered rate.
+func (g *OpenLoadGen) meanGap() sim.Duration {
+	return sim.Duration(1e9 / g.rate)
+}
+
+// nextGap draws the next interarrival according to the arrival process.
+func (g *OpenLoadGen) nextGap() sim.Duration {
+	switch g.kind {
+	case ArrivalBursty:
+		// Inside an ON phase the instantaneous rate is rate/duty; a draw
+		// that lands past the ON boundary skips the OFF remainder of the
+		// cycle, preserving the long-run mean.
+		on := sim.Duration(float64(g.burstPeriod) * g.burstDuty)
+		gap := g.src.Exp(sim.Duration(float64(g.meanGap()) * g.burstDuty))
+		now := g.peer.eng.Now()
+		phase := sim.Duration(int64(now) % int64(g.burstPeriod))
+		if phase+gap >= on {
+			// Carry the overshoot into the next ON phase.
+			gap += g.burstPeriod - on
+		}
+		return gap
+	default:
+		return g.src.Exp(g.meanGap())
+	}
+}
+
+func (g *OpenLoadGen) scheduleNext() {
+	if g.stopped {
+		return
+	}
+	g.peer.eng.After(g.nextGap(), "openload-arrival", func() {
+		if g.stopped {
+			return
+		}
+		g.fire()
+		g.scheduleNext()
+	})
+}
+
+// fire sends one request on the next round-robin connection.
+func (g *OpenLoadGen) fire() {
+	client := int(g.sent) % g.clients
+	g.sent++
+	g.sentAt[client] = append(g.sentAt[client], g.peer.eng.Now())
+	g.peer.Send(0, g.reqBytes, g.mkTag(client))
+}
+
+// OnResponse is called when the guest's reply for a connection arrives.
+func (g *OpenLoadGen) OnResponse(bytes, tag int) {
+	client := tag & 0xffffff
+	if client >= g.clients {
+		return
+	}
+	q := g.sentAt[client]
+	if len(q) == 0 {
+		g.dropped++
+		return
+	}
+	sent := q[0]
+	// Pop in place: shift keeps the backing array, so the steady-state
+	// response path allocates nothing.
+	copy(q, q[1:])
+	g.sentAt[client] = q[:len(q)-1]
+	now := g.peer.eng.Now()
+	g.peer.met.Lat(g.metric, now, now.Sub(sent))
+	g.served++
+}
+
+// Stop ends the arrival process (in-flight requests drain naturally).
+func (g *OpenLoadGen) Stop() { g.stopped = true }
+
+// Sent reports requests offered so far.
+func (g *OpenLoadGen) Sent() uint64 { return g.sent }
+
+// Served reports completed request-response pairs.
+func (g *OpenLoadGen) Served() uint64 { return g.served }
+
+// Dropped reports replies that matched no in-flight request.
+func (g *OpenLoadGen) Dropped() uint64 { return g.dropped }
+
+// Backlog reports requests offered but not yet answered.
+func (g *OpenLoadGen) Backlog() int { return int(g.sent - g.served) }

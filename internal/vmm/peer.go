@@ -48,13 +48,15 @@ type PingPong struct {
 	rounds int
 	done   int
 	sentAt sim.Time
-	rtts   *trace.Hist
+	metric string
 	onDone func()
 }
 
-// NewPingPong builds the closed-loop client; RTTs go to hist.
-func NewPingPong(peer *Peer, bytes, rounds int, hist *trace.Hist, onDone func()) *PingPong {
-	return &PingPong{peer: peer, bytes: bytes, rounds: rounds, rtts: hist, onDone: onDone}
+// NewPingPong builds the closed-loop client; RTTs are recorded at
+// completion time into the peer's metric set under metric (whole-run
+// histogram plus, when the set has a window width, the windowed metric).
+func NewPingPong(peer *Peer, bytes, rounds int, metric string, onDone func()) *PingPong {
+	return &PingPong{peer: peer, bytes: bytes, rounds: rounds, metric: metric, onDone: onDone}
 }
 
 // Start fires the first message.
@@ -66,7 +68,8 @@ func (pp *PingPong) Start() {
 // OnEcho is called (via the peer connection) when the guest's reply
 // arrives back at the client.
 func (pp *PingPong) OnEcho(bytes, tag int) {
-	pp.rtts.Observe(pp.peer.eng.Now().Sub(pp.sentAt))
+	now := pp.peer.eng.Now()
+	pp.peer.met.Lat(pp.metric, now, now.Sub(pp.sentAt))
 	pp.done++
 	if pp.done >= pp.rounds {
 		if pp.onDone != nil {
@@ -90,21 +93,22 @@ type LoadGen struct {
 	mkTag    func(client int) int
 
 	sentAt  []sim.Time
-	lat     *trace.Hist
+	metric  string
 	served  uint64
 	stopped bool
 }
 
 // NewLoadGen builds the client pool. mkTag produces the request tag for a
-// client (encoding the operation); latencies go to hist.
-func NewLoadGen(peer *Peer, clients, reqBytes int, mkTag func(int) int, hist *trace.Hist) *LoadGen {
+// client (encoding the operation); latencies are recorded at completion
+// time into the peer's metric set under metric.
+func NewLoadGen(peer *Peer, clients, reqBytes int, mkTag func(int) int, metric string) *LoadGen {
 	return &LoadGen{
 		peer:     peer,
 		clients:  clients,
 		reqBytes: reqBytes,
 		mkTag:    mkTag,
 		sentAt:   make([]sim.Time, clients),
-		lat:      hist,
+		metric:   metric,
 	}
 }
 
@@ -126,7 +130,8 @@ func (lg *LoadGen) OnResponse(bytes, tag int) {
 	if client >= lg.clients {
 		return
 	}
-	lg.lat.Observe(lg.peer.eng.Now().Sub(lg.sentAt[client]))
+	now := lg.peer.eng.Now()
+	lg.peer.met.Lat(lg.metric, now, now.Sub(lg.sentAt[client]))
 	lg.served++
 	if !lg.stopped {
 		lg.send(client)

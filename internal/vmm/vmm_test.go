@@ -141,8 +141,9 @@ func TestIOThreadPinning(t *testing.T) {
 
 func TestPeerPingPong(t *testing.T) {
 	eng, _, v := newVMM(t, 2, 1)
-	peer := NewPeer(eng, v.Costs(), nil)
-	hist := &trace.Hist{}
+	met := trace.NewSet()
+	peer := NewPeer(eng, v.Costs(), met)
+	hist := met.Hist("pingpong.rtt")
 
 	// Echo guest: reflect every delivery straight back via the VF.
 	peer.Connect(func(vcpu, bytes, tag int) {
@@ -150,7 +151,7 @@ func TestPeerPingPong(t *testing.T) {
 		v.VF.Submit(vcpu, guest.IORequest{Dev: guest.SRIOVNet, Bytes: bytes, Tag: tag})
 	})
 	done := false
-	pp := NewPingPong(peer, 1024, 10, hist, func() { done = true })
+	pp := NewPingPong(peer, 1024, 10, "pingpong.rtt", func() { done = true })
 	v.VF.ConnectPeer(pp.OnEcho)
 	pp.Start()
 	eng.Run()
@@ -170,14 +171,15 @@ func TestPeerPingPong(t *testing.T) {
 
 func TestLoadGenClosedLoop(t *testing.T) {
 	eng, _, v := newVMM(t, 2, 1)
-	peer := NewPeer(eng, v.Costs(), nil)
-	hist := &trace.Hist{}
+	met := trace.NewSet()
+	peer := NewPeer(eng, v.Costs(), met)
+	hist := met.Hist("loadgen.lat")
 
 	// Echo server guest.
 	peer.Connect(func(vcpu, bytes, tag int) {
 		v.VF.Submit(vcpu, guest.IORequest{Dev: guest.SRIOVNet, Bytes: 128, Tag: tag})
 	})
-	lg := NewLoadGen(peer, 10, 512, func(c int) int { return c }, hist)
+	lg := NewLoadGen(peer, 10, 512, func(c int) int { return c }, "loadgen.lat")
 	v.VF.ConnectPeer(lg.OnResponse)
 	lg.Start()
 	eng.RunUntil(sim.Time(10 * sim.Millisecond))
@@ -205,5 +207,86 @@ func TestSubmitRoutesToDevices(t *testing.T) {
 	eng.Run()
 	if v.Blk.Requests() != 1 || v.Net.TxPackets() != 1 || v.VF.TxBytes() != 512 {
 		t.Fatal("routing wrong")
+	}
+}
+
+// TestOpenLoadGenPoisson: open-loop arrivals against an echo guest — the
+// offered rate is met independent of service latency, every reply
+// matches an in-flight request, and latencies flow to the named metric.
+func TestOpenLoadGenPoisson(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	met := trace.NewSet()
+	peer := NewPeer(eng, v.Costs(), met)
+	peer.Connect(func(vcpu, bytes, tag int) {
+		v.VF.Submit(vcpu, guest.IORequest{Dev: guest.SRIOVNet, Bytes: 128, Tag: tag})
+	})
+	lg := NewOpenLoadGen(peer, OpenLoadConfig{
+		Kind: ArrivalPoisson, Rate: 50_000, Clients: 10, ReqBytes: 512,
+	}, func(c int) int { return c }, "openload.lat", eng.Source("openload"))
+	v.VF.ConnectPeer(lg.OnResponse)
+	lg.Start()
+	eng.RunUntil(sim.Time(20 * sim.Millisecond))
+	lg.Stop()
+	eng.Run() // drain in-flight requests
+
+	// 50 krps for 20 ms -> ~1000 arrivals; Poisson spread stays well
+	// inside 3 sigma (~95) for any seed.
+	if lg.Sent() < 900 || lg.Sent() > 1100 {
+		t.Fatalf("sent = %d, want ~1000", lg.Sent())
+	}
+	if lg.Dropped() != 0 {
+		t.Fatalf("dropped = %d replies matched no request", lg.Dropped())
+	}
+	if lg.Backlog() != 0 {
+		t.Fatalf("backlog = %d after drain", lg.Backlog())
+	}
+	if got := met.Hist("openload.lat").Count(); got != int(lg.Served()) {
+		t.Fatalf("latency samples %d != served %d", got, lg.Served())
+	}
+}
+
+// TestOpenLoadGenBursty: the ON/OFF process hits the same mean rate as
+// Poisson while concentrating arrivals in the duty-cycle ON phase.
+func TestOpenLoadGenBursty(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	met := trace.NewSet()
+	peer := NewPeer(eng, v.Costs(), met)
+	peer.Connect(func(vcpu, bytes, tag int) {
+		v.VF.Submit(vcpu, guest.IORequest{Dev: guest.SRIOVNet, Bytes: 128, Tag: tag})
+	})
+	lg := NewOpenLoadGen(peer, OpenLoadConfig{
+		Kind: ArrivalBursty, Rate: 50_000, Clients: 10, ReqBytes: 512,
+	}, func(c int) int { return c }, "openload.lat", eng.Source("openload"))
+	v.VF.ConnectPeer(lg.OnResponse)
+	lg.Start()
+	eng.RunUntil(sim.Time(20 * sim.Millisecond))
+	lg.Stop()
+	eng.Run()
+
+	if lg.Sent() < 800 || lg.Sent() > 1200 {
+		t.Fatalf("sent = %d, want ~1000 at the same mean rate", lg.Sent())
+	}
+	if lg.Dropped() != 0 || lg.Backlog() != 0 {
+		t.Fatalf("dropped=%d backlog=%d after drain", lg.Dropped(), lg.Backlog())
+	}
+}
+
+// TestOpenLoadGenValidation: nonsensical configs must refuse loudly.
+func TestOpenLoadGenValidation(t *testing.T) {
+	eng, _, v := newVMM(t, 2, 1)
+	peer := NewPeer(eng, v.Costs(), trace.NewSet())
+	for _, cfg := range []OpenLoadConfig{
+		{Kind: ArrivalPoisson, Rate: 0, Clients: 10},
+		{Kind: ArrivalPoisson, Rate: -5, Clients: 10},
+		{Kind: ArrivalPoisson, Rate: 1000, Clients: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewOpenLoadGen(%+v) did not panic", cfg)
+				}
+			}()
+			NewOpenLoadGen(peer, cfg, func(c int) int { return c }, "x", eng.Source("x"))
+		}()
 	}
 }

@@ -1,20 +1,24 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_4.json, the perf trajectory record for
+# bench.sh — regenerate BENCH_5.json, the perf trajectory record for
 # this repo.
 #
 # Quick mode (default, used by `make bench` / `make check`):
 #   - runs the internal/sim engine microbenchmarks (ns/op, allocs/op)
 #   - times a fixed benchsuite smoke run (-exp table3 -seed 42 -parallel 1)
-#   - preserves the "suite" section of an existing BENCH_4.json
+#   - preserves the "suite" section of an existing BENCH_5.json
 #
 # Full mode (BENCH_FULL=1, used when re-baselining a perf PR):
-#   - re-measures `benchsuite -exp all -seed 42` wall clock with pooled
-#     per-worker contexts at -parallel 1, 2, 4 and 8, plus a -fresh
-#     serial run (pooling disabled) as the construction-cost baseline
+#   - re-measures the legacy 11-experiment suite (the same set every
+#     earlier BENCH_N.json timed, now spelled out via comma-separated
+#     -exp because -exp all grew the open-loop experiments) at
+#     -parallel 1, 2, 4 and 8, plus a -fresh serial run as the
+#     construction-cost baseline
+#   - times the open-loop experiments separately (openloop_parallel4_s)
+#     so their cost is visible without muddying the legacy trajectory
 #   - computes per-N parallel efficiency, eff(N) = p1 / (N * pN), and
 #     rewrites the "suite" section
 #   - prints a LOUD warning when any parallel run is slower than serial:
-#     that is negative scaling, the regression this PR exists to gate.
+#     that is negative scaling, the regression PR 5 removed.
 #
 # The committed baseline_* numbers are earlier measurements of the same
 # commands on the same class of host; they are inputs to the trajectory,
@@ -22,7 +26,11 @@
 set -e
 cd "$(dirname "$0")/.."
 
-BENCH_OUT=${BENCH_OUT:-BENCH_4.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_5.json}
+# The experiment set every earlier BENCH_N.json called "all": the
+# paper's eleven artifacts, pre-open-loop. Keep timing exactly this set
+# under the all_parallel{N}_s keys so the trajectory stays comparable.
+LEGACY="table2,table3,table4,table5,fig3,fig6,fig7,fig8,fig9,tdx,fig10"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -48,19 +56,23 @@ SUITE_P2_S=""
 SUITE_P4_S=""
 SUITE_P8_S=""
 SUITE_FRESH_P1_S=""
+OPENLOOP_P4_S=""
 if [ "${BENCH_FULL:-0}" = "1" ]; then
-    echo "bench: full suite, fresh (pooling off), -parallel 1 (minutes)..."
-    SUITE_FRESH_P1_S=$(walltime "$TMP/benchsuite" -exp all -seed 42 -parallel 1 -fresh)
+    echo "bench: legacy suite, fresh (pooling off), -parallel 1 (minutes)..."
+    SUITE_FRESH_P1_S=$(walltime "$TMP/benchsuite" -exp "$LEGACY" -seed 42 -parallel 1 -fresh)
     for n in 1 2 4 8; do
-        echo "bench: full suite, pooled, -parallel $n..."
-        eval "SUITE_P${n}_S=\$(walltime \"$TMP/benchsuite\" -exp all -seed 42 -parallel $n)"
+        echo "bench: legacy suite, pooled, -parallel $n..."
+        eval "SUITE_P${n}_S=\$(walltime \"$TMP/benchsuite\" -exp \"$LEGACY\" -seed 42 -parallel $n)"
     done
+    echo "bench: open-loop experiments, pooled, -parallel 4..."
+    OPENLOOP_P4_S=$(walltime "$TMP/benchsuite" -exp openloop,openloop-burst -seed 42 -parallel 4)
 fi
 
 MICRO="$TMP/micro.txt" SMOKE_S="$SMOKE_S" \
 SUITE_P1_S="$SUITE_P1_S" SUITE_P2_S="$SUITE_P2_S" \
 SUITE_P4_S="$SUITE_P4_S" SUITE_P8_S="$SUITE_P8_S" \
-SUITE_FRESH_P1_S="$SUITE_FRESH_P1_S" BENCH_OUT="$BENCH_OUT" \
+SUITE_FRESH_P1_S="$SUITE_FRESH_P1_S" OPENLOOP_P4_S="$OPENLOOP_P4_S" \
+BENCH_OUT="$BENCH_OUT" \
 python3 - <<'PYEOF'
 import json, os, re
 
@@ -84,11 +96,15 @@ if os.path.exists(out):
 
 suite = prev.get("suite", {})
 # Earlier engines measured with the identical commands on the same host
-# class: pre-PR-3 (before the zero-allocation hot path), and PR 3
-# (before per-worker context pooling — note parallel 4 was *slower*
-# than serial, the negative scaling this PR removes).
+# class: pre-PR-3 (before the zero-allocation hot path), PR 3 (before
+# per-worker context pooling; parallel 4 was *slower* than serial), and
+# PR 5 (pooled contexts, pre-windowed-metrics — the direct baseline for
+# this PR's Hist-internals replacement).
 suite.setdefault("baseline_pre_pr3", {"all_parallel1_s": 55.9, "all_parallel8_s": 61.7})
 suite.setdefault("baseline_pr3", {"all_parallel1_s": 24.66, "all_parallel4_s": 27.2})
+suite.setdefault("baseline_pr5", {"all_parallel1_s": 27.09, "all_parallel2_s": 25.82,
+                                  "all_parallel4_s": 26.46, "all_parallel8_s": 28.88,
+                                  "all_fresh_parallel1_s": 26.06})
 
 walls = {}
 for n in (1, 2, 4, 8):
@@ -98,6 +114,8 @@ for n in (1, 2, 4, 8):
         suite[f"all_parallel{n}_s"] = walls[n]
 if os.environ.get("SUITE_FRESH_P1_S", ""):
     suite["all_fresh_parallel1_s"] = float(os.environ["SUITE_FRESH_P1_S"])
+if os.environ.get("OPENLOOP_P4_S", ""):
+    suite["openloop_parallel4_s"] = float(os.environ["OPENLOOP_P4_S"])
 
 if walls and 1 in walls:
     p1 = walls[1]
@@ -119,7 +137,7 @@ if walls and 1 in walls:
                   f"(efficiency {p1 / (n * pn):.2f})")
 
 doc = {
-    "pr": 5,
+    "pr": 6,
     # Efficiency is relative to the measuring host; on a single-CPU
     # host every eff(N>1) is bounded by 1/N and the scaling warning is
     # expected.
@@ -127,7 +145,8 @@ doc = {
     "commands": {
         "micro": "go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$' -benchmem ./internal/sim",
         "smoke": "benchsuite -exp table3 -seed 42 -parallel 1",
-        "suite": "benchsuite -exp all -seed 42 -parallel {1,2,4,8} [+ -fresh at -parallel 1]",
+        "suite": "benchsuite -exp <legacy 11 experiments> -seed 42 -parallel {1,2,4,8} [+ -fresh at -parallel 1]",
+        "openloop": "benchsuite -exp openloop,openloop-burst -seed 42 -parallel 4",
     },
     "microbench": micro,
     "smoke": {"exp": "table3", "wall_s": float(os.environ["SMOKE_S"])},
@@ -139,8 +158,11 @@ print(f"bench: wrote {out}")
 PYEOF
 
 # The gate half of `make bench`: the steady-state schedule/fire path —
-# including Engine.Reset reuse — must stay allocation-free, and a pooled
-# trial must allocate at least 5x fewer bytes than a fresh one.
+# including Engine.Reset reuse — must stay allocation-free, the
+# streaming recorder's record path must stay allocation-free once its
+# pages are faulted in, and a pooled trial must allocate at least 5x
+# fewer bytes than a fresh one.
 go test -run 'TestZeroAlloc|TestEngineResetZeroAlloc' -count=1 ./internal/sim >/dev/null
+go test -run 'TestRecorderZeroAlloc|TestWindowedZeroAlloc|TestHistReset' -count=1 ./internal/trace >/dev/null
 go test -run 'TestTrialAllocs' -count=1 ./internal/exp >/dev/null
 echo "bench: zero-alloc and pooled-trial allocation gates pass"
