@@ -1,16 +1,17 @@
 # Development entry points. `make check` is the full gate: vet, build,
 # a fast race pass over the runner and engine, full race-enabled tests,
-# a benchsuite smoke run, the perf smoke (microbenchmarks + allocation
-# gates -> BENCH_5.json, no wall-clock thresholds) and an end-to-end
-# determinism check (serial CSV output == 8-way parallel CSV output).
+# a benchsuite smoke run, a traced-run smoke (Chrome trace export), the
+# perf smoke (microbenchmarks + allocation gates -> BENCH_6.json, no
+# wall-clock thresholds) and an end-to-end determinism check (serial CSV
+# output == 8-way parallel CSV output).
 
 GO ?= go
 
-.PHONY: all check vet build test race race-fast smoke determinism bench bench-full bench-paper profile clean
+.PHONY: all check vet build test race race-fast smoke trace-smoke determinism bench bench-full bench-paper profile clean
 
 all: check
 
-check: vet build race-fast race smoke bench determinism
+check: vet build race-fast race smoke trace-smoke bench determinism
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +40,15 @@ race-fast:
 smoke:
 	$(GO) run ./cmd/benchsuite -exp table2 -parallel 4
 
+# Sim-time tracing end to end: arm the flight recorder on a real
+# scenario, export Chrome trace JSON, and sanity-check it is non-trivial.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/coregapctl -workload ipibench -rounds 50 -trace "$$tmp/trace.json" >/dev/null && \
+	grep -q '"hw.world_switch"' "$$tmp/trace.json" && \
+	grep -q '"traceEvents"' "$$tmp/trace.json" && \
+	echo "trace-smoke: Chrome trace exported and well-formed"
+
 # The parallel runner must produce byte-identical artifacts to a serial
 # run for the same seed. openloop rides along because its per-window
 # CSVs are the output most sensitive to trial scheduling.
@@ -50,7 +60,7 @@ determinism:
 	echo "determinism: serial and parallel CSVs identical"
 
 # Perf trajectory: engine microbenchmarks + a fixed benchsuite smoke
-# run, recorded in BENCH_5.json. A smoke, not a threshold — except the
+# run, recorded in BENCH_6.json. A smoke, not a threshold — except the
 # zero-alloc gates, which fail the build on regression. bench-full also
 # re-measures the full-suite wall clock (minutes).
 bench:

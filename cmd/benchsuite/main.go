@@ -5,7 +5,8 @@
 // Usage:
 //
 //	benchsuite [-exp all|table2|...|fig10|tdx|openloop] [-full] [-seed N]
-//	           [-parallel N] [-fresh] [-json] [-csv DIR] [-v]
+//	           [-parallel N] [-fresh] [-json] [-csv DIR] [-v] [-progress]
+//	           [-counters] [-selfmetrics FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments come from the internal/exp registry; -exp list prints
@@ -25,6 +26,9 @@
 //
 // -cpuprofile and -memprofile write standard pprof profiles of the run
 // (`go tool pprof` reads them), so performance work starts from data.
+// -selfmetrics captures the harness's own behaviour — per-worker trial/
+// steal/busy/idle stats, allocation and GC deltas, and build provenance —
+// as JSON, for tracking the runner itself across revisions.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/metrics"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -45,17 +50,64 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiments to run (all, list, or comma-separated registry names)")
-	full       = flag.Bool("full", false, "paper-sized sweeps (slower)")
-	seed       = flag.Uint64("seed", 42, "simulation root seed")
-	parallel   = flag.Int("parallel", 0, "worker goroutines shared across all experiments (0 = GOMAXPROCS)")
-	fresh      = flag.Bool("fresh", false, "disable per-worker context pooling (rebuild all simulation state per trial)")
-	jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report to stdout")
-	csvDir     = flag.String("csv", "", "also write each artifact as CSV into this directory")
-	verbose    = flag.Bool("v", false, "print per-trial run metadata")
-	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	expFlag     = flag.String("exp", "all", "experiments to run (all, list, or comma-separated registry names)")
+	full        = flag.Bool("full", false, "paper-sized sweeps (slower)")
+	seed        = flag.Uint64("seed", 42, "simulation root seed")
+	parallel    = flag.Int("parallel", 0, "worker goroutines shared across all experiments (0 = GOMAXPROCS)")
+	fresh       = flag.Bool("fresh", false, "disable per-worker context pooling (rebuild all simulation state per trial)")
+	jsonOut     = flag.Bool("json", false, "emit a machine-readable JSON report to stdout")
+	csvDir      = flag.String("csv", "", "also write each artifact as CSV into this directory")
+	verbose     = flag.Bool("v", false, "print per-trial run metadata")
+	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	progress    = flag.Bool("progress", false, "print a live trials-completed line to stderr")
+	countersCSV = flag.Bool("counters", false, "with -csv, also write each experiment's per-trial engine counters as <exp>-counters.csv")
+	selfmetrics = flag.String("selfmetrics", "", "write runner self-metrics (worker stats, alloc/GC deltas, provenance) as JSON to this file")
 )
+
+// readMetric samples one runtime/metrics uint64 counter (0 if absent).
+func readMetric(name string) uint64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// selfMetrics is the -selfmetrics JSON document.
+type selfMetrics struct {
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	Workers     int               `json:"workers"`
+	Fresh       bool              `json:"fresh"`
+	Experiments []string          `json:"experiments"`
+	WallNS      int64             `json:"wall_ns"`
+	AllocBytes  uint64            `json:"alloc_bytes"`
+	GCCycles    uint64            `json:"gc_cycles"`
+	WorkerStats []exp.WorkerStats `json:"worker_stats"`
+}
+
+// trialCounters renders an experiment's per-trial engine counter banks
+// as CSV (trial,counter,value rows, trial then counter order).
+type trialCounters struct{ rep *exp.Report }
+
+func (tc trialCounters) CSV() string {
+	var b strings.Builder
+	b.WriteString("trial,counter,value\n")
+	for _, t := range tc.rep.Trials {
+		names := make([]string, 0, len(t.Counters))
+		for name := range t.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s,%s,%d\n", t.Spec.ID, name, t.Counters[name])
+		}
+	}
+	return b.String()
+}
 
 // emit writes an artifact's CSV rendering into -csv's directory. Unlike
 // printing, a failed write is a hard error: a partial CSV tree silently
@@ -109,7 +161,10 @@ func main() {
 	if want == "list" {
 		for _, name := range exp.Names() {
 			e, _ := exp.Lookup(name)
-			fmt.Printf("%-8s %s\n", name, e.Title)
+			fmt.Printf("%-14s %s\n", name, e.Title)
+			if e.Desc != "" {
+				fmt.Printf("%-14s   %s\n", "", e.Desc)
+			}
 		}
 		return
 	}
@@ -154,13 +209,47 @@ func main() {
 
 	runner := exp.NewRunner(*parallel)
 	runner.Fresh = *fresh
+	if *progress {
+		runner.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	profile := exp.Profile{Seed: *seed, Full: *full}
+	allocs0, gcs0 := readMetric("/gc/heap/allocs:bytes"), readMetric("/gc/cycles/total:gc-cycles")
 	start := time.Now()
 	reports, err := runner.RunExperiments(selected, profile)
 	if err != nil {
 		fail(1, "benchsuite: %v\n", err)
 	}
 	wall := time.Since(start)
+	if *selfmetrics != "" {
+		names := make([]string, len(selected))
+		for i, e := range selected {
+			names[i] = e.Name
+		}
+		sm := selfMetrics{
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			Workers:     runner.Workers,
+			Fresh:       *fresh,
+			Experiments: names,
+			WallNS:      wall.Nanoseconds(),
+			AllocBytes:  readMetric("/gc/heap/allocs:bytes") - allocs0,
+			GCCycles:    readMetric("/gc/cycles/total:gc-cycles") - gcs0,
+			WorkerStats: runner.WorkerStats(),
+		}
+		data, merr := json.MarshalIndent(sm, "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(*selfmetrics, append(data, '\n'), 0o644)
+		}
+		if merr != nil {
+			fail(1, "benchsuite: selfmetrics: %v\n", merr)
+		}
+	}
 
 	var jsonReports []jsonReport
 	for _, rep := range reports {
@@ -206,6 +295,11 @@ func main() {
 
 		for _, a := range rep.Artifacts {
 			if err := emit(a.Name, a.Item); err != nil {
+				fail(1, "benchsuite: %v\n", err)
+			}
+		}
+		if *countersCSV {
+			if err := emit(rep.Experiment+"-counters", trialCounters{rep}); err != nil {
 				fail(1, "benchsuite: %v\n", err)
 			}
 		}

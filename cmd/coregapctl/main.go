@@ -14,6 +14,7 @@
 //	coregapctl -mode busywait -workload coremark -cores 16
 //	coregapctl -list
 //	coregapctl -exp table3
+//	coregapctl -workload ipibench -trace trace.json    # view in Perfetto
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 
 	"coregap/internal/exp"
 	"coregap/internal/guest"
+	"coregap/internal/obs"
 	"coregap/internal/sim"
 	"coregap/internal/trace"
 	"coregap/internal/vmm"
@@ -49,6 +51,8 @@ var (
 	expName  = flag.String("exp", "", "run a registered experiment by name instead of a single scenario")
 	list     = flag.Bool("list", false, "list the registered experiments and exit")
 	parallel = flag.Int("parallel", 0, "worker goroutines for -exp (0 = GOMAXPROCS)")
+	traceOut = flag.String("trace", "", "arm sim-time tracing and write a Chrome trace-event JSON here (Perfetto-viewable)")
+	counters = flag.Bool("counters", false, "print the trial's engine counter bank")
 	verbose  = flag.Bool("v", false, "dump the full metric set")
 )
 
@@ -58,7 +62,10 @@ func main() {
 	if *list {
 		for _, name := range exp.Names() {
 			e, _ := exp.Lookup(name)
-			fmt.Printf("%-8s %s\n", name, e.Title)
+			fmt.Printf("%-14s %s\n", name, e.Title)
+			if e.Desc != "" {
+				fmt.Printf("%-14s   %s\n", "", e.Desc)
+			}
 		}
 		return
 	}
@@ -126,6 +133,7 @@ func main() {
 	if w.Kind == exp.WLOpenLoop {
 		spec.MetricsWindow = sim.Duration(metwin.Nanoseconds())
 	}
+	spec.Trace = *traceOut != ""
 	trial, err := exp.Execute(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
@@ -164,10 +172,41 @@ func main() {
 			fmt.Print(wl.String())
 		}
 	}
+	if *counters && len(trial.Counters) > 0 {
+		cnames := make([]string, 0, len(trial.Counters))
+		for name := range trial.Counters {
+			cnames = append(cnames, name)
+		}
+		sort.Strings(cnames)
+		fmt.Println("engine counters:")
+		for _, name := range cnames {
+			fmt.Printf("  %-24s %d\n", name, trial.Counters[name])
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, spec.ID, trial); err != nil {
+			fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(trial.TraceEvents), *traceOut)
+	}
 	if *verbose && trial.Metrics != nil {
 		fmt.Println()
 		fmt.Print(trial.Metrics.String())
 	}
+}
+
+// writeTrace exports the trial's captured events as Chrome trace JSON.
+func writeTrace(path, id string, trial exp.Trial) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.ChromeTrace(f, "coregap "+id, trial.TraceEvents); err != nil {
+		return fmt.Errorf("trace %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // runExperiment executes one registered experiment, like a focused

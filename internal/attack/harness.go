@@ -95,7 +95,7 @@ func (h *Harness) runVictim(core hw.CoreID) {
 // (which cover the MDS-class buffers but not, e.g., L1D or TLBs — §2.1's
 // "often applied only retroactively" and partial).
 func (h *Harness) monitorSwitch(core hw.CoreID) {
-	h.mach.Core(core).Uarch.FlushMitigations(uarch.DefaultFlushCosts())
+	h.mach.Core(core).FlushMitigations(uarch.DefaultFlushCosts())
 	h.mach.Core(core).RecordExecution(uarch.DomainMonitor, 0.02, 0)
 }
 
@@ -144,7 +144,7 @@ func (h *Harness) RunBattery(sched Scheduling) BatteryResult {
 	for _, v := range vulncat.Catalogue() {
 		// Fresh machine state per attempt so attempts are independent.
 		for _, c := range h.mach.Cores() {
-			c.Uarch.FlushAll(uarch.DefaultFlushCosts())
+			c.FlushAll(uarch.DefaultFlushCosts())
 		}
 		h.mach.Shared().Staging().Flush()
 		h.mach.Shared().LLC().Flush()

@@ -68,6 +68,8 @@ func (v *VCPU) enterGuest() {
 		panic("core: CheckEnter failed: " + err.Error())
 	}
 	n.Mon.NoteEnter(v.rec)
+	n.Eng.Count(cRECEnter)
+	n.Eng.Trace().Emit(sim.TCExit, "core.rec_enter", int32(v.dcore), int64(v.idx))
 	if v.haveExitStamp {
 		n.Met.Lat(v.vm.name+".runtorun", n.Eng.Now(), n.Eng.Now().Sub(v.exitCompletedAt))
 		v.haveExitStamp = false
@@ -384,6 +386,7 @@ func (v *VCPU) onHostKick() {
 	if v.stopped || v.halted {
 		return
 	}
+	v.node().Eng.Count(cHostKick)
 	if !v.inGuest {
 		return // already exited; the host will see the response
 	}
@@ -406,6 +409,8 @@ func (v *VCPU) onTick() {
 	if n.Opts.DelegateTimer {
 		// Monitor-local emulation (§4.4): trap, re-arm, inject, guest
 		// handler — all on the dedicated core, no host interaction.
+		n.Eng.Count(cTickDeleg)
+		n.Eng.Trace().Emit(sim.TCIRQ, "core.tick_delegated", int32(v.dcore), int64(v.idx))
 		n.Met.Counter(v.vm.name + ".ticks.delegated").Inc()
 		if !v.inGuest {
 			return // vCPU between run calls; tick state folded into entry
@@ -469,6 +474,8 @@ func (v *VCPU) onResidual(reason ExitReason) {
 func (v *VCPU) delegatedVIPI(target int) {
 	n := v.node()
 	p := v.params()
+	n.Eng.Count(cVIPIDeleg)
+	n.Eng.Trace().Emit(sim.TCIRQ, "core.vipi_delegated", int32(v.dcore), int64(target))
 	n.Met.Counter(v.vm.name + ".vipi.delegated").Inc()
 	if target < 0 || target >= len(v.vm.vcpus) {
 		v.advance()

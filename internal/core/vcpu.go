@@ -143,6 +143,8 @@ func (v *VCPU) encFactor() float64 {
 // countExit records a host-visible exit for Table 4 accounting.
 func (v *VCPU) countExit(r ExitReason) {
 	n := v.node()
+	n.Eng.Count(cVCPUExit)
+	n.Eng.Trace().Emit(sim.TCExit, exitTraceName(r), int32(v.dcore), int64(v.idx))
 	n.Met.Counter(v.vm.name + ".exits.total").Inc()
 	if r.InterruptRelated() {
 		n.Met.Counter(v.vm.name + ".exits.interrupt").Inc()
@@ -240,6 +242,8 @@ func (v *VCPU) footprint() float64 {
 // Returns true when the guest was idle and should re-evaluate its
 // program.
 func (v *VCPU) deliverEvent(ev guest.Event) bool {
+	v.node().Eng.Count(cInjections)
+	v.node().Eng.Trace().Emit(sim.TCIRQ, "core.inject", int32(v.dcore), int64(ev.Kind))
 	if ev.Kind == guest.EvVIPI && v.idx < len(v.vm.vipiSentAt) {
 		if t := v.vm.vipiSentAt[v.idx]; t != 0 {
 			v.node().Met.Lat(v.vm.name+".vipi.latency", v.eng().Now(), v.eng().Now().Sub(t))

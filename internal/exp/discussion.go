@@ -81,6 +81,7 @@ func RunTDXComparison(ops int, sharedFrac float64, seed uint64) TDXResult {
 // The §6.1 experiment, registered in paper order by register.go.
 var expTDX = &Experiment{
 	Name:  "tdx",
+	Desc:  "Contrasts stage-2 page-table maintenance churn under CCA rules (every update is a cross-core RPC) with TDX-style host-owned insecure tables.",
 	Title: "§6.1 discussion: stage-2 maintenance under CCA vs TDX rules",
 	Paper: "paper §6.1: TDX-style host-owned insecure page tables need fewer cross-core RPCs",
 	Specs: func(p Profile) []ScenarioSpec { return tdxSpecs(20000, 0.5, p.Seed) },

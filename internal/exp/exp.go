@@ -181,6 +181,11 @@ type ScenarioSpec struct {
 	// publishes the closed windows in Trial.Windows. Zero keeps the
 	// whole-run histograms only.
 	MetricsWindow sim.Duration
+	// Trace arms the engine's sim-time flight recorder for this trial;
+	// the captured events come back in Trial.TraceEvents. Off by
+	// default: tracing costs a ring-buffer write per event, and the
+	// zero-allocation engine gates assume the disabled fast path.
+	Trace bool
 
 	// Series/X place the trial's results on a figure: reducers group by
 	// Series label and plot at coordinate X. Unused by table reducers.

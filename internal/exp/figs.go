@@ -217,6 +217,7 @@ func RunFig7(maxVMs int, workPerVCPU sim.Duration, seed uint64) *trace.Figure {
 var (
 	expFig3 = &Experiment{
 		Name:  "fig3",
+		Desc:  "Replays the transient-execution attack battery under shared-core, core-gapped, and partitioned-LLC scheduling and reports which catalogue vulnerabilities still leak.",
 		Title: "Figure 3: vulnerability timeline + attack battery",
 		Paper: "paper: only NetSpectre and CrossTalk demonstrated cross-core leaks in cloud VM settings",
 		Specs: func(p Profile) []ScenarioSpec { return fig3Specs(p.Seed) },
@@ -231,6 +232,7 @@ var (
 
 	expFig6 = &Experiment{
 		Name:  "fig6",
+		Desc:  "Sweeps CoreMark-PRO across guest core counts and polling modes to reproduce the scaling and run-to-run stability figure.",
 		Title: "Figure 6: CoreMark-PRO scaling",
 		Paper: "paper run-to-run: 26.18 ± 0.96 us, stable across guest core counts",
 		Specs: func(p Profile) []ScenarioSpec {
@@ -252,6 +254,7 @@ var (
 
 	expFig7 = &Experiment{
 		Name:  "fig7",
+		Desc:  "Scales multiple 4-core VMs on one host to show aggregate throughput and the effect of many VMMs sharing one host core.",
 		Title: "Figure 7: scaling to multiple 4-core VMs",
 		Paper: "paper: aggregate scales linearly; 16 VMMs on one host core do not harm throughput",
 		Specs: func(p Profile) []ScenarioSpec {

@@ -175,6 +175,7 @@ func RunFig10(coreCounts []int, jobs int, seed uint64) *trace.Figure {
 var (
 	expFig8 = &Experiment{
 		Name:  "fig8",
+		Desc:  "Runs NetPIPE ping-pong over virtio-net and a passthrough VF across message sizes for the latency/throughput curves.",
 		Title: "Figure 8: NetPIPE latency and throughput",
 		Paper: "paper: virtio up to 2x latency / 30-70% lower throughput gapped;\n" +
 			"       SR-IOV within 10-20 us of baseline, up to 5% higher throughput at large sizes",
@@ -197,6 +198,7 @@ var (
 
 	expFig9 = &Experiment{
 		Name:  "fig9",
+		Desc:  "Drives IOzone-style synchronous O_DIRECT I/O over virtio-blk across record sizes.",
 		Title: "Figure 9: IOzone sync throughput (virtio-blk)",
 		Paper: "paper: core-gapping matches baseline only for large (>10 MiB) I/Os",
 		Specs: func(p Profile) []ScenarioSpec {
@@ -213,6 +215,7 @@ var (
 
 	expFig10 = &Experiment{
 		Name:  "fig10",
+		Desc:  "Builds a parallel kernel-compile workload to compare end-to-end build times across configurations.",
 		Title: "Figure 10: Linux kernel build",
 		Paper: "paper: comparable scaling despite one fewer vCPU and virtio-disk contention",
 		Specs: func(p Profile) []ScenarioSpec {

@@ -289,6 +289,7 @@ func worstWindowP99(wins []trace.WindowStat, fallback sim.Duration) (sim.Duratio
 var (
 	expOpenLoop = &Experiment{
 		Name:  "openloop",
+		Desc:  "Offers an open-loop Poisson request stream to Redis SET at increasing rates and reports per-window p99 SLO attainment and collapse points.",
 		Title: "Open-loop Redis SET: per-window SLO tails vs offered load (Poisson)",
 		Paper: "paper reports closed-loop only (Table 5: SET 51.7->56.2 krps);\n" +
 			"       open-loop SLO/collapse behaviour is this repo's extension",
@@ -307,6 +308,7 @@ var (
 
 	expOpenLoopBurst = &Experiment{
 		Name:  "openloop-burst",
+		Desc:  "Open-loop Redis SET with bursty arrivals (5x rate at 20% duty) to probe tail behaviour under load spikes.",
 		Title: "Open-loop Redis SET: bursty arrivals (5x rate at 20% duty)",
 		Paper: "paper reports closed-loop only; bursty open-loop is this repo's extension",
 		Specs: func(p Profile) []ScenarioSpec {

@@ -65,6 +65,9 @@ type Experiment struct {
 	Name string
 	// Title is the one-line description benchsuite prints.
 	Title string
+	// Desc explains what the experiment measures and how, in a sentence
+	// or two — what coregapctl -list shows under each name.
+	Desc string
 	// Paper quotes the paper's published numbers for this artifact.
 	Paper string
 	// Specs generates the trial list for a profile. It must be pure: the

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Runner executes independent trials across a pool of goroutines. Each
@@ -33,6 +35,38 @@ type Runner struct {
 	// behaviour pooling must reproduce; benchsuite -fresh exposes it so
 	// the two can be A/B'd for both results and allocation cost.
 	Fresh bool
+	// Progress, when set, is called after every completed trial with the
+	// running completion count and the total. It runs on worker
+	// goroutines (possibly concurrently), so it must be cheap and
+	// thread-safe; benchsuite's -progress uses it for a live line.
+	Progress func(done, total int)
+
+	// stats is the per-worker activity of the most recent run (nil until
+	// a run completes, and never populated through a nil Runner).
+	stats []WorkerStats
+}
+
+// WorkerStats is one pool worker's activity during a run: how many
+// trials it executed, how many of those it stole from other workers'
+// queues, and how its wall time split between executing trials and
+// waiting. These are harness self-metrics — host wall clock, not
+// simulated time — so they are the one part of a run that is NOT a pure
+// function of the specs.
+type WorkerStats struct {
+	Worker int           `json:"worker"`
+	Trials int           `json:"trials"`
+	Steals int           `json:"steals"`
+	Busy   time.Duration `json:"busy_ns"`
+	Idle   time.Duration `json:"idle_ns"`
+}
+
+// WorkerStats reports the per-worker activity of the runner's most
+// recent Run* call (nil before any run, or on a nil Runner).
+func (r *Runner) WorkerStats() []WorkerStats {
+	if r == nil {
+		return nil
+	}
+	return append([]WorkerStats(nil), r.stats...)
 }
 
 // NewRunner returns a runner with the given pool size (<= 0: GOMAXPROCS).
@@ -99,9 +133,29 @@ func (r *Runner) runItems(n int, exec func(worker, item int)) {
 	if workers > n {
 		workers = n
 	}
+	stats := make([]WorkerStats, workers)
+	for w := range stats {
+		stats[w].Worker = w
+	}
+	var done atomic.Int64
+	finish := func(w int) {
+		if r == nil || r.Progress == nil {
+			return
+		}
+		r.Progress(int(done.Add(1)), n)
+	}
 	if workers <= 1 {
+		start := time.Now()
 		for i := 0; i < n; i++ {
 			exec(0, i)
+			finish(0)
+		}
+		if len(stats) > 0 {
+			stats[0].Trials = n
+			stats[0].Busy = time.Since(start)
+		}
+		if r != nil {
+			r.stats = stats
 		}
 		return
 	}
@@ -118,19 +172,32 @@ func (r *Runner) runItems(n int, exec func(worker, item int)) {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
+			st := &stats[self]
+			spawned := time.Now()
 			for {
 				i, ok := queues[self].pop()
 				for off := 1; !ok && off < workers; off++ {
 					i, ok = queues[(self+off)%workers].steal()
+					if ok {
+						st.Steals++
+					}
 				}
 				if !ok {
+					st.Idle = time.Since(spawned) - st.Busy
 					return
 				}
+				t0 := time.Now()
 				exec(self, i)
+				st.Busy += time.Since(t0)
+				st.Trials++
+				finish(self)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if r != nil {
+		r.stats = stats
+	}
 }
 
 // contexts builds the lazy per-worker context table: slot w is created

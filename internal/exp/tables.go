@@ -236,6 +236,7 @@ func RunTable5(window sim.Duration, seed uint64) Table5Result {
 var (
 	expTable2 = &Experiment{
 		Name:  "table2",
+		Desc:  "Measures the three null RMM call paths: the asynchronous cross-core run call (mailbox post, IPI, wake-up thread), the synchronous busy-wait call, and the modelled same-core EL3 lower bound (world switches plus mitigation flushes).",
 		Title: "Table 2: null RMM call latencies",
 		Paper: "paper: async 2757.6 ns | sync 257.7 ns | same-core >12.8 us",
 		Specs: func(p Profile) []ScenarioSpec { return table2Specs(p.Seed) },
@@ -247,6 +248,7 @@ var (
 
 	expTable3 = &Experiment{
 		Name:  "table3",
+		Desc:  "Times virtual IPI delivery with a two-vCPU ping-pong guest under no-delegation, delegated, and shared-core configurations.",
 		Title: "Table 3: virtual IPI latency",
 		Paper: "paper: no-delegation 43.9 us | delegated 2.22 us | shared-core 3.85 us",
 		Specs: func(p Profile) []ScenarioSpec { return table3Specs(p.Seed) },
@@ -258,6 +260,7 @@ var (
 
 	expTable4 = &Experiment{
 		Name:  "table4",
+		Desc:  "Counts host-visible VM exits of a CoreMark-PRO run with and without interrupt delegation, split into interrupt-related and total.",
 		Title: "Table 4: interrupt delegation effect on CoreMark-PRO exits",
 		Paper: "paper: interrupt-related 33954±161 → 390±3 | total 37712±504 → 1324±60",
 		Specs: func(p Profile) []ScenarioSpec { return table4Specs(p.Seed) },
@@ -269,6 +272,7 @@ var (
 
 	expTable5 = &Experiment{
 		Name:  "table5",
+		Desc:  "Runs closed-loop Redis (50 clients, 512-byte objects) over SET/GET/LRANGE and compares throughput and latency percentiles across configurations.",
 		Title: "Table 5: Redis benchmark (50 clients, 512-byte objects)",
 		Paper: "paper krps: SET 51.7→56.2 | GET 48.8→55.3 | LRANGE 11.6→14.5 (shared→gapped)",
 		Specs: func(p Profile) []ScenarioSpec {

@@ -44,6 +44,15 @@ type Trial struct {
 	// rather than handing out state that will be rewound underneath
 	// the caller.
 	Metrics *trace.Set
+	// Counters is the trial's engine counter bank — every cross-subsystem
+	// perf counter (world switches, IPIs, SMC calls, …) that fired, by
+	// name. Copied out of the (possibly pooled) engine at trial finish.
+	// Reducers must not depend on it: it is diagnostic, not artifact.
+	Counters map[string]uint64
+	// TraceEvents is the trial's captured sim-time trace, chronological,
+	// populated only when Spec.Trace was set. Like Counters it is copied
+	// out before the pooled engine is recycled.
+	TraceEvents []sim.TraceEvent
 }
 
 // V reports the named value (0 when absent).
@@ -104,7 +113,7 @@ func ExecuteIn(ctx *TrialContext, spec ScenarioSpec) (t Trial, err error) {
 	case WLNullRMMSync:
 		err = t.runNullSync(ctx, spec)
 	case WLNullRMMSameCore:
-		err = t.runNullSameCore(spec)
+		err = t.runNullSameCore(ctx, spec)
 	case WLBattery:
 		err = t.runBattery(ctx, spec)
 	case WLPTChurn:
@@ -126,7 +135,32 @@ func (t *Trial) newNode(ctx *TrialContext, spec ScenarioSpec) *core.Node {
 	if ctx == nil {
 		t.Metrics = n.Met
 	}
+	traceOn(n.Eng, spec)
 	return n
+}
+
+// traceOn arms the engine's flight recorder when the spec asks for it.
+// Pooled engines come back from Reset with tracing detached, so this is
+// the single place a trial's trace state is decided.
+func traceOn(eng *sim.Engine, spec ScenarioSpec) {
+	if spec.Trace {
+		eng.EnableTracing(0)
+	}
+}
+
+// captureObs copies the engine's counter bank — and, when tracing was
+// armed, its event buffer — into the trial. It must run before the
+// worker's pooled context is recycled by the next trial.
+func (t *Trial) captureObs(eng *sim.Engine) {
+	eng.Counters(func(name string, v uint64) {
+		if t.Counters == nil {
+			t.Counters = make(map[string]uint64)
+		}
+		t.Counters[name] = v
+	})
+	if tr := eng.Trace(); tr != nil {
+		t.TraceEvents = tr.Events(nil)
+	}
 }
 
 // finishNode captures engine statistics, the standard per-VM counters,
@@ -154,6 +188,7 @@ func (t *Trial) finishNode(n *core.Node) {
 			t.Labels["attest.rim"] = []string{tok.RIM.String()}
 		}
 	}
+	t.captureObs(n.Eng)
 }
 
 func b2f(b bool) float64 {
@@ -352,6 +387,7 @@ func (t *Trial) runNullAsync(ctx *TrialContext, spec ScenarioSpec) error {
 	rounds := spec.Workload.Rounds
 	parts := ctx.kernelParts(2, spec.Seed)
 	eng, mach := parts.Eng, parts.Mach
+	traceOn(eng, spec)
 	kern := host.NewKernel(parts.Mach, parts.Dist, parts.Met)
 	mb := rpc.NewMailbox(eng, "null")
 	hist := trace.AcquireHist("null.async")
@@ -402,6 +438,7 @@ func (t *Trial) runNullAsync(ctx *TrialContext, spec ScenarioSpec) error {
 	t.Values["ns"] = float64(hist.Mean())
 	t.Meta.Simulated = sim.Duration(eng.Now())
 	t.Meta.Events = eng.EventsFired()
+	t.captureObs(eng)
 	return nil
 }
 
@@ -410,6 +447,7 @@ func (t *Trial) runNullSync(ctx *TrialContext, spec ScenarioSpec) error {
 	p := core.DefaultParams()
 	rounds := spec.Workload.Rounds
 	eng := ctx.engine(2, spec.Seed)
+	traceOn(eng, spec)
 	mb := rpc.NewMailbox(eng, "sync")
 	hist := trace.AcquireHist("null.sync")
 	defer trace.ReleaseHist(hist)
@@ -441,22 +479,29 @@ func (t *Trial) runNullSync(ctx *TrialContext, spec ScenarioSpec) error {
 	t.Values["ns"] = float64(hist.Mean())
 	t.Meta.Simulated = sim.Duration(eng.Now())
 	t.Meta.Events = eng.EventsFired()
+	t.captureObs(eng)
 	return nil
 }
 
 // runNullSameCore computes the same-core EL3 null-call component: two
 // world switches plus the deployed transient-execution mitigation
 // flushes — the paper's >12.8 µs lower bound.
-func (t *Trial) runNullSameCore(spec ScenarioSpec) error {
+func (t *Trial) runNullSameCore(ctx *TrialContext, spec ScenarioSpec) error {
 	p := core.DefaultParams()
-	cs := uarch.NewCoreState()
-	src := sim.NewSource(spec.Seed)
-	cs.Touch(uarch.DomainHost, 0.5, 0, src)
-	flushIn := cs.FlushMitigations(uarch.DefaultFlushCosts())
-	cs.Touch(uarch.DomainMonitor, 0.3, 0, src)
-	flushOut := cs.FlushMitigations(uarch.DefaultFlushCosts())
-	worldSwitches := 2 * hw.DefaultConfig(1).WorldSwitchCost
-	t.Values["ns"] = float64(flushIn + flushOut + worldSwitches + p.EL3Dispatch)
+	eng, mach := ctx.machine(1, spec.Seed)
+	traceOn(eng, spec)
+	costs := uarch.DefaultFlushCosts()
+	c := mach.Core(0)
+	// Host side traps to EL3: mitigation flush, then the world switch in.
+	c.RecordExecution(uarch.DomainHost, 0.5, 0)
+	flushIn := c.FlushMitigations(costs)
+	swIn := c.SwitchWorld(hw.RealmWorld)
+	// Monitor services the call, flushes on the way out, switches back.
+	c.RecordExecution(uarch.DomainMonitor, 0.3, 0)
+	flushOut := c.FlushMitigations(costs)
+	swOut := c.SwitchWorld(hw.NormalWorld)
+	t.Values["ns"] = float64(flushIn + flushOut + swIn + swOut + p.EL3Dispatch)
+	t.captureObs(eng)
 	return nil
 }
 
@@ -464,11 +509,13 @@ func (t *Trial) runNullSameCore(spec ScenarioSpec) error {
 // spec's scheduling and records which vulnerabilities leaked.
 func (t *Trial) runBattery(ctx *TrialContext, spec ScenarioSpec) error {
 	eng, mach := ctx.machine(2, spec.Seed)
+	traceOn(eng, spec)
 	h := attack.NewHarnessOn(eng, mach, spec.Config.Options().PartitionLLC)
 	res := h.RunBattery(spec.Workload.Sched)
 	leaks := res.LeakedVulns()
 	t.Values["leaks"] = float64(len(leaks))
 	t.Labels["leaks"] = leaks
+	t.captureObs(eng)
 	return nil
 }
 
@@ -480,6 +527,7 @@ func (t *Trial) runPTChurn(ctx *TrialContext, spec ScenarioSpec) error {
 	w := spec.Workload
 	p := core.DefaultParams()
 	eng := ctx.engine(2, spec.Seed)
+	traceOn(eng, spec)
 	src := eng.Source("churn")
 	mb := rpc.NewMailbox(eng, "rtt")
 	var rpcs uint64
@@ -523,6 +571,7 @@ func (t *Trial) runPTChurn(ctx *TrialContext, spec ScenarioSpec) error {
 	t.Values["rpcs"] = float64(rpcs)
 	t.Meta.Simulated = sim.Duration(eng.Now())
 	t.Meta.Events = eng.EventsFired()
+	t.captureObs(eng)
 	return nil
 }
 

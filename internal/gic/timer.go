@@ -47,6 +47,10 @@ func (vt *VTimer) Armed() bool { return vt.armed }
 // Ticks reports total expirations.
 func (vt *VTimer) Ticks() uint64 { return vt.ticks }
 
+// cSPITrigger counts device interrupts accepted by the distributor
+// (enabled, routed, and handed to the machine for delivery).
+var cSPITrigger = sim.DefineCounter("gic.spi_triggers")
+
 // Distributor routes shared peripheral interrupts (SPIs) to cores. The
 // host configures affinity; devices trigger interrupts.
 type Distributor struct {
@@ -103,6 +107,9 @@ func (d *Distributor) Trigger(irq hw.IRQ) {
 		return
 	}
 	d.delivered[irq]++
+	eng := d.mach.Engine()
+	eng.Count(cSPITrigger)
+	eng.Trace().Emit(sim.TCIRQ, "gic.spi", int32(to), int64(irq))
 	d.mach.DeliverIRQ(to, irq)
 }
 

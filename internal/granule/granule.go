@@ -10,6 +10,18 @@ package granule
 import (
 	"errors"
 	"fmt"
+
+	"coregap/internal/sim"
+)
+
+// Delegation-protocol counters: every successful state transition on
+// the table, by operation. These are the paper's RMI granule churn made
+// visible per trial.
+var (
+	cDelegate   = sim.DefineCounter("granule.delegates")
+	cUndelegate = sim.DefineCounter("granule.undelegates")
+	cClaim      = sim.DefineCounter("granule.claims")
+	cRelease    = sim.DefineCounter("granule.releases")
 )
 
 // Size is the granule size in bytes (4 KiB, as on Arm).
@@ -90,6 +102,10 @@ type Table struct {
 	// addresses; Reset scrubs only [0, hi) instead of re-zeroing — or,
 	// worse, reallocating — the entire backing array.
 	hi uint64
+	// eng, when bound, receives counters and trace events for state
+	// transitions. The table stays usable unbound (tests build bare
+	// tables); note() is then a nil check.
+	eng *sim.Engine
 }
 
 // NewTable returns a table covering size bytes of physical memory, all
@@ -115,6 +131,23 @@ func (t *Table) Reset(size uint64) {
 	t.hi = 0
 	t.counts = [6]uint64{}
 	t.counts[Undelegated] = n
+}
+
+// Bind attaches the engine whose counters and tracer receive this
+// table's state transitions, returning t for construction chaining.
+func (t *Table) Bind(eng *sim.Engine) *Table {
+	t.eng = eng
+	return t
+}
+
+// note records a successful transition in the bound engine's counters
+// and trace.
+func (t *Table) note(id sim.CounterID, name string, pa PA) {
+	if t.eng == nil {
+		return
+	}
+	t.eng.Count(id)
+	t.eng.Trace().Emit(sim.TCGranule, name, sim.LaneGlobal, int64(pa))
 }
 
 // mark records that the granule at pa was mutated, widening the range
@@ -182,6 +215,7 @@ func (t *Table) Delegate(pa PA) error {
 	t.transition(g, Delegated)
 	g.dirty = false
 	t.mark(pa)
+	t.note(cDelegate, "granule.delegate", pa)
 	return nil
 }
 
@@ -202,6 +236,7 @@ func (t *Table) Undelegate(pa PA) error {
 	}
 	t.transition(g, Undelegated)
 	t.mark(pa)
+	t.note(cUndelegate, "granule.undelegate", pa)
 	return nil
 }
 
@@ -222,6 +257,7 @@ func (t *Table) Claim(pa PA, to State, owner RealmID) error {
 	g.owner = owner
 	g.dirty = true
 	t.mark(pa)
+	t.note(cClaim, "granule.claim", pa)
 	return nil
 }
 
@@ -244,6 +280,7 @@ func (t *Table) Release(pa PA, owner RealmID) error {
 	g.owner = 0
 	g.dirty = false // release implies scrub
 	t.mark(pa)
+	t.note(cRelease, "granule.release", pa)
 	return nil
 }
 

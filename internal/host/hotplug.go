@@ -49,6 +49,8 @@ func (k *Kernel) OfflineCore(id hw.CoreID, handoff func()) error {
 	}
 
 	cs.offline = true
+	k.eng.Count(cHotplugOff)
+	k.eng.Trace().Span(sim.TCEngine, "host.hotplug_offline", int32(id), HotplugCost, 0)
 
 	// Stop the running thread and collect every queued thread.
 	var displaced []*Thread
@@ -110,6 +112,8 @@ func (k *Kernel) OnlineCore(id hw.CoreID) error {
 		return ErrCoreOnline
 	}
 	cs.offline = false
+	k.eng.Count(cHotplugOn)
+	k.eng.Trace().Emit(sim.TCEngine, "host.hotplug_online", int32(id), 0)
 	k.mach.SetPower(id, hw.Online)
 	// The host owns the core's interrupt delivery again.
 	k.mach.Core(id).SetIRQHandler(func(from hw.CoreID, irq hw.IRQ) { k.handleIRQ(id, from, irq) })

@@ -47,6 +47,8 @@ func (k *Kernel) StealCPU(core hw.CoreID, cost sim.Duration, fn func()) {
 		panic(fmt.Sprintf("host: StealCPU on unmanaged core %d", core))
 	}
 	exec := k.mach.Core(core).Exec
+	k.eng.Count(cIRQSteals)
+	k.eng.Trace().Span(sim.TCIRQ, "host.irq_steal", int32(core), cost, 0)
 
 	if cs.stealing {
 		// Nested IRQ: serialize after the current steal by deferring a

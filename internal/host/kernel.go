@@ -14,6 +14,15 @@ import (
 // DefaultQuantum is the normal-class timeslice.
 const DefaultQuantum = 4 * sim.Millisecond
 
+// Host-kernel counters: scheduler and IRQ activity per trial.
+var (
+	cSubmits    = sim.DefineCounter("host.submits")
+	cCtxSwitch  = sim.DefineCounter("host.ctx_switches")
+	cIRQSteals  = sim.DefineCounter("host.irq_steals")
+	cHotplugOff = sim.DefineCounter("host.hotplug_offlines")
+	cHotplugOn  = sim.DefineCounter("host.hotplug_onlines")
+)
+
 // Kernel is the host OS: per-core run queues, two scheduling classes,
 // IRQ dispatch, and CPU hotplug.
 type Kernel struct {
@@ -107,6 +116,7 @@ func (k *Kernel) Submit(t *Thread, label string, work sim.Duration, fn func()) {
 	if t.state == Dead {
 		return
 	}
+	k.eng.Count(cSubmits)
 	t.inbox = append(t.inbox, workItem{label: label, work: work, fn: fn})
 	if t.state == Blocked {
 		k.wake(t)
@@ -259,6 +269,7 @@ func (k *Kernel) dispatch(cs *coreSched) {
 	t.state = Running
 	t.core = cs.id
 	t.switches++
+	k.eng.Count(cCtxSwitch)
 
 	dom, fp := t.domain, t.footprint
 	if dom == uarch.DomainNone {

@@ -18,6 +18,17 @@ import (
 	"coregap/internal/uarch"
 )
 
+// Cross-subsystem perf counters for the machine edges every experiment
+// crosses: world switches, interrupt traffic, shared-cache pressure.
+var (
+	cWorldSwitch = sim.DefineCounter("hw.world_switches")
+	cIPISent     = sim.DefineCounter("hw.ipis")
+	cIRQSent     = sim.DefineCounter("hw.irqs")
+	cLLCFill     = sim.DefineCounter("uarch.llc_fills")
+	cLLCEvict    = sim.DefineCounter("uarch.llc_evictions")
+	cFlush       = sim.DefineCounter("uarch.flushes")
+)
+
 // CoreID identifies a physical core.
 type CoreID int
 
@@ -167,7 +178,29 @@ func (c *Core) SwitchWorld(to World) sim.Duration {
 		return 0
 	}
 	c.world = to
+	c.mach.eng.Count(cWorldSwitch)
+	c.mach.eng.Trace().Span(sim.TCWorld, "hw.world_switch", int32(c.id), c.mach.worldSwitchCost, int64(to))
 	return c.mach.worldSwitchCost
+}
+
+// FlushMitigations applies the transient-execution mitigation flush
+// sequence to this core's private structures and returns its time cost.
+// Prefer this over calling Uarch.FlushMitigations directly: the core
+// knows the machine, so the flush lands in counters and the trace.
+func (c *Core) FlushMitigations(costs uarch.FlushCosts) sim.Duration {
+	d := c.Uarch.FlushMitigations(costs)
+	c.mach.eng.Count(cFlush)
+	c.mach.eng.Trace().Span(sim.TCUarch, "uarch.flush_mitigations", int32(c.id), d, 0)
+	return d
+}
+
+// FlushAll architecturally flushes every per-core structure (the full
+// world-switch scrub), with the same observability as FlushMitigations.
+func (c *Core) FlushAll(costs uarch.FlushCosts) sim.Duration {
+	d := c.Uarch.FlushAll(costs)
+	c.mach.eng.Count(cFlush)
+	c.mach.eng.Trace().Span(sim.TCUarch, "uarch.flush_all", int32(c.id), d, 0)
+	return d
 }
 
 // RecordExecution notes that domain d executed on this core for the
@@ -252,7 +285,7 @@ func NewMachine(eng *sim.Engine, cfg Config) *Machine {
 	m := &Machine{
 		eng:             eng,
 		shared:          uarch.NewSharedState(131072, 16),
-		gpt:             granule.NewTable(cfg.MemBytes),
+		gpt:             granule.NewTable(cfg.MemBytes).Bind(eng),
 		tagSrc:          eng.Source("hw.tags"),
 		ipiLatency:      cfg.IPILatency,
 		worldSwitchCost: cfg.WorldSwitchCost,
@@ -335,6 +368,8 @@ func (m *Machine) IPILatency() sim.Duration { return m.ipiLatency }
 // as on real hardware.
 func (m *Machine) SendIPI(from, to CoreID, irq IRQ) {
 	target := m.Core(to)
+	m.eng.Count(cIPISent)
+	m.eng.Trace().Span(sim.TCIRQ, "hw.ipi", int32(to), m.ipiLatency, int64(irq))
 	m.eng.After(m.ipiLatency, fmt.Sprintf("ipi%d->%d", from, to), func() {
 		if target.handler != nil {
 			target.handler(from, irq)
@@ -347,6 +382,8 @@ func (m *Machine) SendIPI(from, to CoreID, irq IRQ) {
 // the target core.
 func (m *Machine) DeliverIRQ(to CoreID, irq IRQ) {
 	target := m.Core(to)
+	m.eng.Count(cIRQSent)
+	m.eng.Trace().Span(sim.TCIRQ, "hw.irq", int32(to), m.ipiLatency, int64(irq))
 	m.eng.After(m.ipiLatency, fmt.Sprintf("irq%d@%d", int(irq), to), func() {
 		if target.handler != nil {
 			target.handler(NoCore, irq)
@@ -387,5 +424,10 @@ func (m *Machine) DedicatedCores() []CoreID {
 // TouchShared models domain d filling socket-shared structures from any
 // core (LLC footprint and, when usesStaging, the staging buffer).
 func (m *Machine) TouchShared(d uarch.DomainID, footprint float64, usesStaging bool) {
-	m.shared.TouchShared(d, footprint, usesStaging, m.tagSrc)
+	evicted := m.shared.TouchShared(d, footprint, usesStaging, m.tagSrc)
+	m.eng.Count(cLLCFill)
+	if evicted > 0 {
+		m.eng.CountN(cLLCEvict, uint64(evicted))
+		m.eng.Trace().Emit(sim.TCUarch, "uarch.llc_evict", sim.LaneGlobal, int64(evicted))
+	}
 }

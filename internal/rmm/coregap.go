@@ -128,7 +128,7 @@ func (m *Monitor) RebindRec(rec *REC, to hw.CoreID) error {
 		return nil
 	}
 	if old != hw.NoCore {
-		m.mach.Core(old).Uarch.FlushAll(uarch.DefaultFlushCosts())
+		m.mach.Core(old).FlushAll(uarch.DefaultFlushCosts())
 		delete(m.bindings, old)
 	}
 	rec.bound = to

@@ -5,8 +5,14 @@ import (
 
 	"coregap/internal/granule"
 	"coregap/internal/hw"
+	"coregap/internal/sim"
 	"coregap/internal/smc"
 )
+
+// cSMCCall counts RMI calls crossing the host→monitor SMC boundary —
+// in the core-gapped design these are exactly the calls proxied over
+// the cross-core transport.
+var cSMCCall = sim.DefineCounter("rmm.smc_calls")
 
 // Dispatcher is the monitor's host-facing RMI entry point: it decodes SMC
 // calls, resolves the opaque handles the ABI uses (a realm is named by
@@ -71,6 +77,11 @@ func errStatus(err error) smc.Status {
 
 // Handle implements smc.Handler for the RMI.
 func (d *Dispatcher) Handle(c smc.Call) smc.Result {
+	eng := d.m.mach.Engine()
+	eng.Count(cSMCCall)
+	// FID.String is a map of static names: no per-call formatting for
+	// any known RMI function.
+	eng.Trace().Emit(sim.TCProxy, c.FID.String(), sim.LaneGlobal, int64(uint32(c.FID)))
 	switch c.FID {
 	case smc.RMIVersion:
 		return smc.Ok1(abiVersion)

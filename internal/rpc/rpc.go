@@ -24,6 +24,13 @@ import (
 	"coregap/internal/sim"
 )
 
+// Proxy-call counters: one post and one complete per proxied call, so
+// (posts == completes) at quiescence is a cheap protocol sanity check.
+var (
+	cPosts     = sim.DefineCounter("rpc.posts")
+	cCompletes = sim.DefineCounter("rpc.completes")
+)
+
 // State is the mailbox protocol state.
 type State int
 
@@ -97,6 +104,8 @@ func (m *Mailbox) Post(req any, propDelay sim.Duration) {
 	m.req = req
 	m.reqVisibleAt = m.eng.Now().Add(propDelay)
 	m.postedAt = m.eng.Now()
+	m.eng.Count(cPosts)
+	m.eng.Trace().SpanDetail(sim.TCProxy, "rpc.post", m.name, sim.LaneGlobal, propDelay, 0)
 }
 
 // TryTake is the server-side poll: it claims the request if one is
@@ -130,6 +139,8 @@ func (m *Mailbox) Complete(resp any, propDelay sim.Duration) {
 	m.state = Done
 	m.resp = resp
 	m.respVisibleAt = m.eng.Now().Add(propDelay)
+	m.eng.Count(cCompletes)
+	m.eng.Trace().SpanDetail(sim.TCProxy, "rpc.complete", m.name, sim.LaneGlobal, propDelay, 0)
 }
 
 // TryResponse is the client-side poll: it consumes the response if

@@ -120,6 +120,12 @@ type Engine struct {
 	// Stats.
 	fired     uint64
 	cancelled uint64
+
+	// Observability: nil tracer / empty bank when disabled, so the
+	// scheduling hot path pays one branch each. See tracer.go and
+	// counter.go.
+	trc    *Tracer
+	counts []uint64
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -151,6 +157,8 @@ func (e *Engine) Reset(seed uint64) {
 	e.seed = seed
 	e.fired = 0
 	e.cancelled = 0
+	e.trc = nil
+	clear(e.counts)
 	for name, s := range e.sources {
 		s.reseed(mix(seed, hashString(name)))
 	}
@@ -178,6 +186,9 @@ func (e *Engine) At(t Time, label string, fn func()) Event {
 	ev.fn = fn
 	ev.label = label
 	e.heapPush(ev)
+	if e.trc != nil {
+		e.trc.EmitDetail(TCEngine, "sched", label, LaneGlobal, int64(ev.seq))
+	}
 	return Event{n: ev, gen: ev.gen}
 }
 
@@ -198,6 +209,9 @@ func (e *Engine) Cancel(ev Event) {
 	if n == nil || n.gen != ev.gen || n.index < 0 {
 		return
 	}
+	if e.trc != nil {
+		e.trc.EmitDetail(TCEngine, "cancel", n.label, LaneGlobal, int64(n.seq))
+	}
 	e.heapRemove(int(n.index))
 	e.recycle(n)
 	e.cancelled++
@@ -216,6 +230,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.fired++
 	fn := ev.fn
+	if e.trc != nil {
+		e.trc.EmitDetail(TCEngine, "fire", ev.label, LaneGlobal, int64(ev.seq))
+	}
 	// Recycle before running fn: the callback may schedule follow-up
 	// events, and handing it this node keeps the pool at its
 	// steady-state size. The generation bump has already invalidated

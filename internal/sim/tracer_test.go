@@ -1,0 +1,171 @@
+package sim
+
+import "testing"
+
+func TestTracerDisabledIsSafe(t *testing.T) {
+	e := NewEngine(1)
+	if e.Trace() != nil {
+		t.Fatalf("new engine has a tracer attached")
+	}
+	// All methods on the nil tracer are no-ops.
+	var tr *Tracer
+	tr.Emit(TCWorld, "x", 0, 0)
+	tr.Span(TCUarch, "y", 0, 5, 0)
+	if tr.Len() != 0 || tr.Cap() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil tracer reports nonzero state")
+	}
+	if got := tr.Events(nil); got != nil {
+		t.Fatalf("nil tracer returned events: %v", got)
+	}
+}
+
+func TestTracerRecordsEngineOps(t *testing.T) {
+	e := NewEngine(1)
+	tr := e.EnableTracing(16)
+	ev := e.At(10, "a", func() {})
+	e.At(20, "b", func() {})
+	e.Cancel(ev)
+	e.Run()
+
+	got := tr.Events(nil)
+	want := []struct {
+		name, det string
+		at        Time
+	}{
+		{"sched", "a", 0},
+		{"sched", "b", 0},
+		{"cancel", "a", 0},
+		{"fire", "b", 20},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.name || g.Det != w.det || g.At != w.at || g.Cat != TCEngine {
+			t.Errorf("event %d = %+v, want %v %q at %v", i, g, w.name, w.det, w.at)
+		}
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	e := NewEngine(1)
+	tr := e.EnableTracing(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(TCIRQ, "ipi", int32(i), int64(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	got := tr.Events(nil)
+	for i, ev := range got {
+		if want := int64(6 + i); ev.Arg != want {
+			t.Errorf("event %d arg = %d, want %d (ring should keep the newest)", i, ev.Arg, want)
+		}
+	}
+}
+
+func TestTracerTimestampsMonotone(t *testing.T) {
+	e := NewEngine(7)
+	tr := e.EnableTracing(0) // default capacity
+	var tick func()
+	n := 0
+	tick = func() {
+		tr.Span(TCWorld, "switch", 0, 30, 0)
+		if n++; n < 50 {
+			e.After(Duration(10*n), "tick", tick)
+		}
+	}
+	e.After(0, "tick", tick)
+	e.Run()
+	evs := tr.Events(nil)
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("timestamps not monotone: event %d at %v after %v", i, evs[i].At, evs[i-1].At)
+		}
+	}
+}
+
+func TestResetDetachesTracerAndClearsCounters(t *testing.T) {
+	id := DefineCounter("test.reset_detach")
+	e := NewEngine(1)
+	e.EnableTracing(8)
+	e.Count(id)
+	e.CountN(id, 4)
+	if got := e.CounterValue(id); got != 5 {
+		t.Fatalf("CounterValue = %d, want 5", got)
+	}
+	e.Reset(2)
+	if e.Trace() != nil {
+		t.Fatalf("Reset kept the tracer attached")
+	}
+	if got := e.CounterValue(id); got != 0 {
+		t.Fatalf("CounterValue after Reset = %d, want 0", got)
+	}
+}
+
+func TestDefineCounterIdempotent(t *testing.T) {
+	a := DefineCounter("test.idem")
+	b := DefineCounter("test.idem")
+	if a != b {
+		t.Fatalf("DefineCounter not idempotent: %d vs %d", a, b)
+	}
+	if got := CounterName(a); got != "test.idem" {
+		t.Fatalf("CounterName = %q", got)
+	}
+	if CounterName(-1) != "counter?" || CounterName(CounterID(1<<30)) != "counter?" {
+		t.Fatalf("out-of-range CounterName not defensive")
+	}
+}
+
+func TestCountersIterationOrderAndValues(t *testing.T) {
+	x := DefineCounter("test.iter_x")
+	y := DefineCounter("test.iter_y")
+	e := NewEngine(1)
+	e.CountN(y, 3)
+	e.Count(x)
+	var names []string
+	var vals []uint64
+	e.Counters(func(name string, v uint64) {
+		names = append(names, name)
+		vals = append(vals, v)
+	})
+	// Registration order, zero counters skipped.
+	ix, iy := -1, -1
+	for i, n := range names {
+		switch n {
+		case "test.iter_x":
+			ix = i
+		case "test.iter_y":
+			iy = i
+		}
+	}
+	if ix == -1 || iy == -1 || ix > iy != (x > y) {
+		t.Fatalf("iteration order wrong: %v", names)
+	}
+	if vals[ix] != 1 || vals[iy] != 3 {
+		t.Fatalf("values wrong: %v", vals)
+	}
+}
+
+// TestZeroAllocTraceEnabled pins down that tracing itself allocates
+// nothing per event once the ring exists: emits are value writes.
+func TestZeroAllocTraceEnabled(t *testing.T) {
+	e := NewEngine(1)
+	tr := e.EnableTracing(1 << 10)
+	id := DefineCounter("test.zero_alloc_emit")
+	avg := testing.AllocsPerRun(1000, func() {
+		tr.Emit(TCIRQ, "ipi", 3, 42)
+		tr.Span(TCWorld, "switch", 0, 30, 1)
+		e.Count(id)
+	})
+	if avg != 0 {
+		t.Fatalf("emit+count allocates %v allocs/op, want 0", avg)
+	}
+}

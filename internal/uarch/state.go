@@ -309,20 +309,29 @@ func (ss *SharedState) ReleaseWays(d DomainID) {
 
 // TouchShared models domain d filling shared structures. With LLC
 // partitioning enabled, d's fills are confined to its own ways and cannot
-// evict (nor be observed via) other domains' lines.
-func (ss *SharedState) TouchShared(d DomainID, footprint float64, usesStaging bool, tagSrc *sim.Source) {
+// evict (nor be observed via) other domains' lines. It reports how many
+// resident lines the fill evicted — the cross-domain side effect the
+// PRIME+PROBE channel observes, surfaced so callers can count it.
+func (ss *SharedState) TouchShared(d DomainID, footprint float64, usesStaging bool, tagSrc *sim.Source) (evicted int) {
 	if footprint > 1 {
 		footprint = 1
 	}
 	n := int(footprint * float64(ss.llc.Cap()) / float64(ss.llcWays))
+	if free := ss.llc.Cap() - ss.llc.Len(); n > free {
+		evicted = n - free
+	}
 	for i := 0; i < n; i++ {
 		ss.llc.Insert(Entry{Domain: d, Tag: tagSrc.Uint64()})
 	}
 	if usesStaging {
 		// Instructions like RDRAND/CPUID leave residue in the shared
 		// staging buffer regardless of which core executed them.
+		if ss.staging.Len() == ss.staging.Cap() {
+			evicted++
+		}
 		ss.staging.Insert(Entry{Domain: d, Secret: true, Tag: tagSrc.Uint64()})
 	}
+	return evicted
 }
 
 // LLCObservable reports whether reader can observe domain owner's LLC
