@@ -54,10 +54,27 @@ var (
 	traceOut = flag.String("trace", "", "arm sim-time tracing and write a Chrome trace-event JSON here (Perfetto-viewable)")
 	counters = flag.Bool("counters", false, "print the trial's engine counter bank")
 	verbose  = flag.Bool("v", false, "dump the full metric set")
+	queueSel = flag.String("queue", "", "event queue implementation: heap or wheel (empty = build default)")
+	repeat   = flag.Int("repeat", 1, "run the scenario N times in one pooled context; >1 exercises boot-snapshot forking (last run is reported)")
 )
+
+// headlineCounters are the mechanism counters coregapctl always
+// surfaces — in -counters output and as Chrome counter tracks — even at
+// zero, so the active queue implementation and snapshot behaviour are
+// visible at a glance.
+var headlineCounters = []string{"wheel.cascade", "snapshot.fork", "snapshot.hit"}
 
 func main() {
 	flag.Parse()
+
+	if *queueSel != "" {
+		k, err := sim.ParseQueueKind(*queueSel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
+			os.Exit(2)
+		}
+		sim.SetDefaultQueue(k)
+	}
 
 	if *list {
 		for _, name := range exp.Names() {
@@ -134,7 +151,24 @@ func main() {
 		spec.MetricsWindow = sim.Duration(metwin.Nanoseconds())
 	}
 	spec.Trace = *traceOut != ""
-	trial, err := exp.Execute(spec)
+	var trial exp.Trial
+	if *repeat > 1 {
+		// Repeated runs share one pooled context and a boot key, so runs
+		// after the first fork the guest boot from the cached snapshot
+		// (visible as snapshot.hit/snapshot.fork in -counters). Traced
+		// runs still boot in full: forking is disabled under tracing so
+		// the granule-protocol events stay in the capture.
+		spec.BootKey = "coregapctl"
+		ctx := exp.NewTrialContext()
+		for i := 0; i < *repeat; i++ {
+			trial, err = exp.ExecuteIn(ctx, spec)
+			if err != nil {
+				break
+			}
+		}
+	} else {
+		trial, err = exp.Execute(spec)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
 		os.Exit(1)
@@ -172,15 +206,22 @@ func main() {
 			fmt.Print(wl.String())
 		}
 	}
-	if *counters && len(trial.Counters) > 0 {
-		cnames := make([]string, 0, len(trial.Counters))
-		for name := range trial.Counters {
+	if *counters {
+		bank := make(map[string]uint64, len(trial.Counters)+len(headlineCounters))
+		for _, name := range headlineCounters {
+			bank[name] = 0
+		}
+		for name, v := range trial.Counters {
+			bank[name] = v
+		}
+		cnames := make([]string, 0, len(bank))
+		for name := range bank {
 			cnames = append(cnames, name)
 		}
 		sort.Strings(cnames)
 		fmt.Println("engine counters:")
 		for _, name := range cnames {
-			fmt.Printf("  %-24s %d\n", name, trial.Counters[name])
+			fmt.Printf("  %-24s %d\n", name, bank[name])
 		}
 	}
 	if *traceOut != "" {
@@ -196,14 +237,20 @@ func main() {
 	}
 }
 
-// writeTrace exports the trial's captured events as Chrome trace JSON.
+// writeTrace exports the trial's captured events as Chrome trace JSON,
+// with the headline mechanism counters (wheel cascades, snapshot
+// forks/hits) attached as counter tracks.
 func writeTrace(path, id string, trial exp.Trial) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := obs.ChromeTrace(f, "coregap "+id, trial.TraceEvents); err != nil {
+	tracks := make(map[string]uint64, len(headlineCounters))
+	for _, name := range headlineCounters {
+		tracks[name] = trial.Counters[name]
+	}
+	if err := obs.ChromeTraceWithCounters(f, "coregap "+id, trial.TraceEvents, tracks); err != nil {
 		return fmt.Errorf("trace %s: %w", path, err)
 	}
 	return f.Close()

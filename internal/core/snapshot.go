@@ -1,0 +1,228 @@
+package core
+
+// Boot-snapshot forking: sweep experiments re-run an identical guest
+// boot (planner admission, granule delegation, realm construction and
+// measurement, vCPU REC creation, activation) for every trial, varying
+// only post-boot workload parameters. The RMI half of that sequence —
+// granule-table transitions, RIM hashing, stage-2 tree construction,
+// realm/REC object building — is pure computation with no effect on the
+// event queue, so its *products* can be captured once per (worker,
+// BootKey) and transplanted into later trials, while every
+// kernel/engine-visible call (thread creation, mailboxes, hotplug,
+// run-call posting) is replayed in the original order so scheduling and
+// event timing stay byte-identical.
+//
+// Correctness contract: a forked boot must be observationally identical
+// to a full one. Three mechanisms enforce it:
+//
+//  1. The granule table is restored from an Image taken at the end of
+//     the captured boot, and the realm object graph is deep-copied both
+//     into and out of the cache (rmm.RealmSnapshot), so no state aliases
+//     the cached master.
+//  2. Counter deltas for the *skipped* RMI sections are recorded during
+//     capture and replayed on fork; counters fired by replayed
+//     kernel-visible calls (host.submits etc.) are excluded from the
+//     delta so they are not double counted.
+//  3. Capture happens before any event fires (boot construction is
+//     synchronous at t=0), so the snapshot never has to reproduce
+//     scheduler or microarchitectural state.
+//
+// Snapshots are keyed by an opaque BootKey supplied by the experiment
+// layer; equal keys promise an identical boot sequence, and a per-VM
+// name/vcpus check catches accidental violations by falling back to a
+// full boot.
+
+import (
+	"coregap/internal/granule"
+	"coregap/internal/rmm"
+	"coregap/internal/sim"
+)
+
+// Snapshot-forking counters: forks counts transplanted VM boots, hits
+// counts trials that found a usable cache entry.
+var (
+	cSnapFork = sim.DefineCounter("snapshot.fork")
+	cSnapHit  = sim.DefineCounter("snapshot.hit")
+)
+
+// vmBootProduct is everything one VM's skipped RMI sequence produced:
+// the granule-table image and allocation watermark after the boot, the
+// realm object graph, and the counter deltas the skipped calls fired.
+type vmBootProduct struct {
+	name   string
+	vcpus  int
+	gpt    *granule.Image
+	nextPA granule.PA
+	realm  *rmm.RealmSnapshot
+	eng    []engDelta
+	met    []metDelta
+}
+
+type engDelta struct {
+	id sim.CounterID
+	n  uint64
+}
+
+type metDelta struct {
+	name string
+	n    uint64
+}
+
+// bootEntry is the cached product list for one BootKey, in NewVM order.
+// It is appended to as the first trial with this key boots its VMs, so
+// a partially booted (errored) trial simply leaves a shorter prefix;
+// later trials fork the prefix and boot the rest in full.
+type bootEntry struct {
+	vms []*vmBootProduct
+}
+
+// BootCache holds boot snapshots for one worker's trial context. It is
+// not safe for concurrent use — each parallel worker owns its own cache,
+// mirroring the per-worker Context pooling.
+type BootCache struct {
+	entries map[string]*bootEntry
+}
+
+// NewBootCache returns an empty cache.
+func NewBootCache() *BootCache { return &BootCache{entries: make(map[string]*bootEntry)} }
+
+// Len reports the number of distinct boot keys cached.
+func (c *BootCache) Len() int { return len(c.entries) }
+
+// bootFork is a node's per-trial snapshot state: either capturing the
+// first boot for a key or forking from an existing entry.
+type bootFork struct {
+	entry *bootEntry
+	// next indexes the product to fork for the node's next NewVM call;
+	// once it runs past the recorded products (or a mismatch disables
+	// forking), boots fall through to the full path.
+	next      int
+	capturing bool
+}
+
+// UseBootCache arms boot-snapshot forking on the node for the given
+// key. If the cache already holds products for the key, subsequent
+// NewVM calls fork from them; otherwise the node captures its boots
+// into the cache for later trials. Only meaningful in Gapped mode —
+// shared-core boots perform no RMI and are not worth caching.
+func (n *Node) UseBootCache(c *BootCache, key string) {
+	if c == nil || key == "" || n.Opts.Mode != Gapped {
+		return
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &bootEntry{}
+		c.entries[key] = e
+		n.boot = &bootFork{entry: e, capturing: true}
+		return
+	}
+	n.boot = &bootFork{entry: e}
+	if len(e.vms) > 0 {
+		n.Eng.Count(cSnapHit)
+	}
+}
+
+// forkProduct returns the cached product for the node's next VM when
+// forking is armed and the product matches, nil to take the full path.
+func (n *Node) forkProduct(name string, vcpus int) *vmBootProduct {
+	b := n.boot
+	if b == nil || b.capturing || b.next >= len(b.entry.vms) {
+		return nil
+	}
+	p := b.entry.vms[b.next]
+	if p.name != name || p.vcpus != vcpus {
+		// Key contract violated: stop forking for this node entirely so
+		// the remaining boots run in full against the real table state.
+		n.boot = nil
+		return nil
+	}
+	b.next++
+	return p
+}
+
+// deltaRecorder accumulates engine- and metric-counter deltas across
+// the RMI sections of a captured boot. It is paused across
+// kernel-visible calls so counters those calls fire (and will fire
+// again on fork) never enter the delta.
+type deltaRecorder struct {
+	n       *Node
+	engBase map[string]uint64
+	metBase map[string]uint64
+	eng     map[string]uint64
+	met     map[string]uint64
+	active  bool
+}
+
+func newDeltaRecorder(n *Node) *deltaRecorder {
+	return &deltaRecorder{
+		n:       n,
+		engBase: make(map[string]uint64),
+		metBase: make(map[string]uint64),
+		eng:     make(map[string]uint64),
+		met:     make(map[string]uint64),
+	}
+}
+
+func (r *deltaRecorder) resume() {
+	clear(r.engBase)
+	r.n.Eng.Counters(func(name string, v uint64) { r.engBase[name] = v })
+	clear(r.metBase)
+	for _, name := range r.n.Met.CounterNames() {
+		r.metBase[name] = r.n.Met.Counter(name).Value()
+	}
+	r.active = true
+}
+
+func (r *deltaRecorder) pause() {
+	if !r.active {
+		return
+	}
+	r.active = false
+	r.n.Eng.Counters(func(name string, v uint64) {
+		if d := v - r.engBase[name]; d != 0 {
+			r.eng[name] += d
+		}
+	})
+	for _, name := range r.n.Met.CounterNames() {
+		if d := r.n.Met.Counter(name).Value() - r.metBase[name]; d != 0 {
+			r.met[name] += d
+		}
+	}
+}
+
+// deltas freezes the accumulated counts into replayable form. Engine
+// counters are resolved to ids once here (DefineCounter is idempotent),
+// and both lists are emitted in sorted-name order for determinism.
+func (r *deltaRecorder) deltas() (eng []engDelta, met []metDelta) {
+	for _, name := range sortedKeys(r.eng) {
+		eng = append(eng, engDelta{id: sim.DefineCounter(name), n: r.eng[name]})
+	}
+	for _, name := range sortedKeys(r.met) {
+		met = append(met, metDelta{name: name, n: r.met[name]})
+	}
+	return eng, met
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// replayDeltas fires the recorded counter deltas on the node, standing
+// in for the skipped RMI calls.
+func (n *Node) replayDeltas(p *vmBootProduct) {
+	for _, d := range p.eng {
+		n.Eng.CountN(d.id, d.n)
+	}
+	for _, d := range p.met {
+		n.Met.Counter(d.name).Add(d.n)
+	}
+}

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"coregap/internal/sim"
+)
+
+// counterLines flattens a trial's engine counter bank, dropping the
+// snapshot bookkeeping counters that (by design) only forked trials
+// carry.
+func counterLines(tr Trial) string {
+	var keys []string
+	for k := range tr.Counters {
+		if strings.HasPrefix(k, "snapshot.") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, tr.Counters[k])
+	}
+	return b.String()
+}
+
+// windowLines flattens a trial's windowed metrics.
+func windowLines(tr Trial) string {
+	var names []string
+	for name := range tr.Windows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		for _, st := range tr.Windows[name] {
+			fmt.Fprintf(&b, "win %s %+v\n", name, st)
+		}
+	}
+	return b.String()
+}
+
+// trialFingerprint is every deterministic observable of a trial:
+// values, labels, windows and the full engine counter bank (minus the
+// snapshot.* markers). This is strictly stronger than renderReport,
+// which skips Counters — the counter comparison is what proves the
+// recorded-delta replay reproduces the skipped RMI work exactly.
+func trialFingerprint(tr Trial) string {
+	return trialValues(tr) + windowLines(tr) + counterLines(tr)
+}
+
+// TestSnapshotForkMatchesFullBoot is the acceptance test of
+// boot-snapshot forking: for every registered experiment that declares
+// BootKeys, run its keyed specs through one pooled context twice — the
+// first pass captures boot snapshots, the second forks from them — and
+// require each forked trial to be byte-identical to a fresh Execute of
+// the same spec, engine counters included.
+func TestSnapshotForkMatchesFullBoot(t *testing.T) {
+	if !SnapshotForking() {
+		t.Fatal("snapshot forking must default on")
+	}
+	p := Profile{Seed: 42}
+	names := Names()
+	if testing.Short() {
+		names = []string{"fig8"}
+	}
+	tested := 0
+	for _, name := range names {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		var keyed []ScenarioSpec
+		for _, s := range e.Specs(p) {
+			if s.BootKey != "" {
+				keyed = append(keyed, s)
+			}
+		}
+		if len(keyed) == 0 {
+			continue
+		}
+		tested++
+		ctx := NewTrialContext()
+		for _, s := range keyed {
+			if _, err := ExecuteIn(ctx, s); err != nil {
+				t.Fatalf("%s/%s capture pass: %v", name, s.ID, err)
+			}
+		}
+		forks := 0
+		for _, s := range keyed {
+			forked, err := ExecuteIn(ctx, s)
+			if err != nil {
+				t.Fatalf("%s/%s fork pass: %v", name, s.ID, err)
+			}
+			fresh, err := Execute(s)
+			if err != nil {
+				t.Fatalf("%s/%s fresh: %v", name, s.ID, err)
+			}
+			if got, want := trialFingerprint(forked), trialFingerprint(fresh); got != want {
+				t.Errorf("%s/%s: forked trial differs from fresh boot\nfresh:\n%s\nforked:\n%s",
+					name, s.ID, want, got)
+			}
+			forks += int(forked.Counters["snapshot.fork"])
+			if s.Config != ConfigBaseline && forked.Counters["snapshot.hit"] == 0 {
+				t.Errorf("%s/%s: second pass of a keyed gapped trial did not hit the cache", name, s.ID)
+			}
+		}
+		if forks == 0 {
+			t.Errorf("%s: no VM boot was forked on the second pass", name)
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no registered experiment declares a BootKey")
+	}
+}
+
+// TestSnapshotKeyMismatchFallsBack: a BootKey that lies about the boot
+// shape (same key, different vCPU count) must not corrupt the trial —
+// the per-VM product check falls back to a full boot whose output
+// matches fresh execution.
+func TestSnapshotKeyMismatchFallsBack(t *testing.T) {
+	mk := func(id string, vcpus int) ScenarioSpec {
+		return ScenarioSpec{ID: id, Config: ConfigGapped, Cores: 4, Seed: 11,
+			Workload: Workload{Kind: WLCoreMark, VCPUs: vcpus, Work: 5 * sim.Millisecond},
+			BootKey:  "liar"}
+	}
+	ctx := NewTrialContext()
+	if _, err := ExecuteIn(ctx, mk("a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecuteIn(ctx, mk("b", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(mk("b", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["snapshot.fork"] != 0 {
+		t.Error("mismatched product was forked instead of falling back")
+	}
+	if g, w := trialFingerprint(got), trialFingerprint(want); g != w {
+		t.Errorf("fallback trial differs from fresh boot\nfresh:\n%s\nfallback:\n%s", w, g)
+	}
+}
+
+// TestSnapshotForkingDisabled: the global switch must suppress all
+// snapshot activity while leaving results unchanged.
+func TestSnapshotForkingDisabled(t *testing.T) {
+	spec := ScenarioSpec{ID: "off", Config: ConfigGapped, Cores: 4, Seed: 5,
+		Workload: Workload{Kind: WLCoreMark, VCPUs: 3, Work: 5 * sim.Millisecond},
+		BootKey:  "off-key"}
+	SetSnapshotForking(false)
+	defer SetSnapshotForking(true)
+	ctx := NewTrialContext()
+	for i := 0; i < 2; i++ {
+		tr, err := ExecuteIn(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Counters["snapshot.fork"] != 0 || tr.Counters["snapshot.hit"] != 0 {
+			t.Fatalf("run %d: snapshot counters fired while forking disabled: %v", i, tr.Counters)
+		}
+	}
+}

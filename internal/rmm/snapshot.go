@@ -1,0 +1,76 @@
+package rmm
+
+import (
+	"coregap/internal/granule"
+)
+
+// Boot-snapshot support: a realm whose construction sequence (RealmCreate,
+// RecCreate, DataCreate, Activate) is identical across trials can be
+// captured once and transplanted into a later monitor instead of
+// re-validating, re-hashing and re-walking the whole RMI sequence. The
+// snapshot is a deep copy taken at capture time, and adoption deep-copies
+// again, so the cached master never aliases live state.
+//
+// Adoption is deliberately silent: no metric counters fire and no granule
+// transitions run. The boot-fork layer (internal/core) replays the
+// recorded counter deltas and restores the granule-table image itself, so
+// a forked boot is observationally identical to a replayed one.
+
+// RealmSnapshot is a frozen copy of a realm's construction products.
+type RealmSnapshot struct {
+	master *Realm
+	// marks are the monitor's id allocators right after this realm's
+	// construction; adoption restores them so a later (non-forked)
+	// RealmCreate continues the same id/domain sequence.
+	nextRealm granule.RealmID
+	nextGuest int
+}
+
+// cloneRealm deep-copies a realm, binding the copy's stage-2 tree to gpt.
+func cloneRealm(r *Realm, gpt *granule.Table) *Realm {
+	nr := &Realm{
+		id:     r.id,
+		domain: r.domain,
+		params: r.params,
+		state:  r.state,
+		rd:     r.rd,
+		ledger: r.ledger, // value copy: measurements only, no pointers
+	}
+	nr.rtt = r.rtt.Clone(gpt)
+	nr.recs = make([]*REC, len(r.recs))
+	for i, c := range r.recs {
+		nr.recs[i] = &REC{
+			realm:  nr,
+			idx:    c.idx,
+			state:  c.state,
+			pa:     c.pa,
+			bound:  c.bound,
+			enters: c.enters,
+			exits:  c.exits,
+		}
+	}
+	return nr
+}
+
+// SnapshotRealm captures the realm's construction products for later
+// adoption by a monitor replaying the same boot.
+func (m *Monitor) SnapshotRealm(r *Realm) *RealmSnapshot {
+	return &RealmSnapshot{
+		master:    cloneRealm(r, nil),
+		nextRealm: m.nextRealm,
+		nextGuest: m.nextGuest,
+	}
+}
+
+// AdoptRealm transplants a snapshot into the monitor: the realm appears
+// exactly as if the captured construction sequence had just run, with the
+// monitor's id allocators advanced to match. The caller is responsible
+// for the granule-table state and for any counter accounting the skipped
+// RMI calls would have produced.
+func (m *Monitor) AdoptRealm(s *RealmSnapshot) *Realm {
+	r := cloneRealm(s.master, m.gpt)
+	m.realms[r.id] = r
+	m.nextRealm = s.nextRealm
+	m.nextGuest = s.nextGuest
+	return r
+}

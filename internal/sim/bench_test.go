@@ -54,6 +54,74 @@ func BenchmarkChurn(b *testing.B) {
 	}
 }
 
+// empiricalDelta samples the schedule-delta distribution observed on
+// the real suite (sched->fire pairs from the engine flight recorder
+// over table3/fig6/fig8 trials): 51% is the 5us scheduler tick, a
+// third is sub-microsecond IPI/world-switch traffic (129ns-1.6us), and
+// the tail has spikes at 500us (netpipe round), 4ms (redis think time)
+// and beyond. The queue A/B is judged on this shape, not on uniform
+// deltas: a calendar queue's cascade cost depends entirely on how
+// often the clock crosses slot-span boundaries.
+var empiricalDeltas = func() (table []Duration) {
+	dist := []struct {
+		d Duration
+		w int
+	}{
+		{5000, 507}, {500000, 92}, {450, 80}, {500, 58}, {129, 35},
+		{300, 32}, {600, 24}, {969, 24}, {23559, 20}, {800, 17},
+		{4000000, 14}, {2000, 13}, {4059, 12}, {1350, 11}, {1250, 11},
+		{9900, 11}, {1600, 7}, {6400, 3}, {2500, 2}, {200, 2},
+		{262144, 1}, {210890875, 1},
+	}
+	for _, e := range dist {
+		for i := 0; i < e.w; i++ {
+			table = append(table, e.d)
+		}
+	}
+	return table
+}()
+
+// BenchmarkScheduleShortDelta replays the empirical delta mix through a
+// 256-deep resident queue: each iteration fires the earliest event and
+// schedules a replacement at an empirically drawn offset.
+func BenchmarkScheduleShortDelta(b *testing.B) {
+	e := NewEngine(1)
+	src := e.Source("bench")
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.After(empiricalDeltas[src.Intn(len(empiricalDeltas))], "resident", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.After(empiricalDeltas[src.Intn(len(empiricalDeltas))], "resident", fn)
+	}
+}
+
+// BenchmarkTimerChurn replays the re-arm pattern of the models' timers
+// against the empirical delta mix: 64 resident timers; each iteration
+// cancels one, re-arms it at a fresh empirical offset, and steps the
+// engine once — the cancel-heavy shape world-switch deadline timers
+// produce.
+func BenchmarkTimerChurn(b *testing.B) {
+	e := NewEngine(1)
+	src := e.Source("bench")
+	fn := func() {}
+	var timers [64]Event
+	for i := range timers {
+		timers[i] = e.After(empiricalDeltas[src.Intn(len(empiricalDeltas))], "timer", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 63
+		e.Cancel(timers[j])
+		timers[j] = e.After(empiricalDeltas[src.Intn(len(empiricalDeltas))], "timer", fn)
+		e.Step()
+	}
+}
+
 // zeroAllocs asserts a hot-path operation allocates nothing per run
 // once the engine pool is warm.
 func zeroAllocs(t *testing.T, name string, op func()) {
@@ -64,37 +132,59 @@ func zeroAllocs(t *testing.T, name string, op func()) {
 	}
 }
 
+// allocGateEngines yields one engine per (queue kind, tracing) corner:
+// both queue implementations must hold the zero-allocation invariant
+// with the flight recorder off and on (ring emits are value writes, and
+// wheel cascades may emit while stepping).
+func allocGateEngines(f func(name string, e *Engine)) {
+	for _, k := range []QueueKind{QueueHeap, QueueWheel} {
+		for _, traced := range []bool{false, true} {
+			e := NewEngineQueue(1, k)
+			name := k.String()
+			if traced {
+				e.EnableTracing(1 << 12)
+				name += "+trace"
+			}
+			f(name, e)
+		}
+	}
+}
+
 // TestZeroAllocScheduleFire is the allocation-regression gate for the
 // BenchmarkSchedule path.
 func TestZeroAllocScheduleFire(t *testing.T) {
-	e := NewEngine(1)
-	fn := func() {}
-	zeroAllocs(t, "schedule+fire", func() {
-		e.After(1, "gate", fn)
-		e.Step()
+	allocGateEngines(func(name string, e *Engine) {
+		fn := func() {}
+		zeroAllocs(t, "schedule+fire/"+name, func() {
+			e.After(1, "gate", fn)
+			e.Step()
+		})
 	})
 }
 
 // TestZeroAllocCancel gates the schedule→cancel path.
 func TestZeroAllocCancel(t *testing.T) {
-	e := NewEngine(1)
-	fn := func() {}
-	zeroAllocs(t, "schedule+cancel", func() {
-		e.Cancel(e.After(1, "gate", fn))
+	allocGateEngines(func(name string, e *Engine) {
+		fn := func() {}
+		zeroAllocs(t, "schedule+cancel/"+name, func() {
+			e.Cancel(e.After(1, "gate", fn))
+		})
 	})
 }
 
-// TestZeroAllocDeepQueue gates the full-depth sift path: the queue
-// stays 256 deep while events churn through it.
+// TestZeroAllocDeepQueue gates the full-depth restructuring path: the
+// queue stays 256 deep while events churn through it (heap sifts,
+// wheel slot relinks and cascades).
 func TestZeroAllocDeepQueue(t *testing.T) {
-	e := NewEngine(1)
-	src := e.Source("gate")
-	fn := func() {}
-	for i := 0; i < 256; i++ {
-		e.After(Duration(src.Intn(1000)+1), "resident", fn)
-	}
-	zeroAllocs(t, "deep-queue churn", func() {
-		e.Step()
-		e.After(Duration(src.Intn(1000)+1), "resident", fn)
+	allocGateEngines(func(name string, e *Engine) {
+		src := e.Source("gate")
+		fn := func() {}
+		for i := 0; i < 256; i++ {
+			e.After(Duration(src.Intn(1000)+1), "resident", fn)
+		}
+		zeroAllocs(t, "deep-queue churn/"+name, func() {
+			e.Step()
+			e.After(Duration(src.Intn(1000)+1), "resident", fn)
+		})
 	})
 }

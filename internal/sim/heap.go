@@ -1,9 +1,9 @@
 package sim
 
-// The event queue is an engine-owned 4-ary min-heap over *event nodes,
+// The 4-ary min-heap is the comparison-based eventQueue implementation,
 // ordered by (at, seq). It replaces container/heap to keep the hot path
 // free of interface boxing and indirect Less/Swap calls: tens of
-// millions of events flow through Push/Pop per benchsuite run, and the
+// millions of events flow through push/pop per benchsuite run, and the
 // comparison is two integer compares that the compiler can inline.
 //
 // A 4-ary layout halves the tree depth of a binary heap. Sift-down
@@ -14,7 +14,8 @@ package sim
 // Fired and cancelled nodes are recycled through an engine-owned free
 // list rather than garbage: in steady state At/After allocate nothing.
 // Recycling is what makes the generation counter on event necessary —
-// see Event in sim.go for the stale-handle story.
+// see Event in sim.go for the stale-handle story. The sibling
+// implementation lives in wheel.go; queue.go owns the selection.
 
 // event is the pooled, engine-owned queue node. External code never
 // sees an *event; it holds an Event handle (node pointer + generation).
@@ -22,9 +23,13 @@ type event struct {
 	at    Time
 	seq   uint64
 	gen   uint32 // bumped every time the node is recycled
-	index int32  // heap index, -1 while not queued
+	index int32  // queue position (heap index or wheel lvl<<6|slot), -1 while not queued
 	fn    func()
 	label string
+
+	// Intrusive list links, used only while the node is filed in a
+	// wheelQueue slot. nil under the heap implementation.
+	next, prev *event
 }
 
 // less orders the queue by time, breaking ties by schedule order so
@@ -58,51 +63,78 @@ func (e *Engine) recycle(ev *event) {
 	e.free = append(e.free, ev)
 }
 
-// heapPush queues a node.
-func (e *Engine) heapPush(ev *event) {
-	e.heap = append(e.heap, ev)
-	e.siftUp(len(e.heap) - 1)
+// heapQueue is the 4-ary min-heap eventQueue. The backing array is kept
+// across drain/reset so a pooled engine reaches steady state with no
+// per-trial allocation.
+type heapQueue struct {
+	h []*event
 }
 
-// heapPop removes and returns the minimum node. The caller guarantees a
-// non-empty heap.
-func (e *Engine) heapPop() *event {
-	h := e.heap
+func (q *heapQueue) kind() QueueKind { return QueueHeap }
+
+func (q *heapQueue) size() int { return len(q.h) }
+
+func (q *heapQueue) peek() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *heapQueue) push(ev *event) {
+	q.h = append(q.h, ev)
+	q.siftUp(len(q.h) - 1)
+}
+
+// pop removes and returns the minimum node, or nil when empty.
+func (q *heapQueue) pop() *event {
+	h := q.h
+	if len(h) == 0 {
+		return nil
+	}
 	top := h[0]
 	n := len(h) - 1
 	last := h[n]
 	h[n] = nil
-	e.heap = h[:n]
+	q.h = h[:n]
 	if n > 0 {
 		h[0] = last
 		last.index = 0
-		e.siftDown(0)
+		q.siftDown(0)
 	}
 	top.index = -1
 	return top
 }
 
-// heapRemove unlinks the node at index i (cancellation).
-func (e *Engine) heapRemove(i int) {
-	h := e.heap
+// remove unlinks a queued node (cancellation).
+func (q *heapQueue) remove(ev *event) {
+	i := int(ev.index)
+	h := q.h
 	n := len(h) - 1
-	ev := h[i]
 	last := h[n]
 	h[n] = nil
-	e.heap = h[:n]
+	q.h = h[:n]
 	if i < n {
 		h[i] = last
 		last.index = int32(i)
-		e.siftDown(i)
+		q.siftDown(i)
 		if int(last.index) == i {
-			e.siftUp(i)
+			q.siftUp(i)
 		}
 	}
 	ev.index = -1
 }
 
-func (e *Engine) siftUp(i int) {
-	h := e.heap
+func (q *heapQueue) drain(recycle func(*event)) {
+	for _, ev := range q.h {
+		ev.index = -1
+		recycle(ev)
+	}
+	q.h = q.h[:0]
+}
+
+func (q *heapQueue) siftUp(i int) {
+	h := q.h
 	ev := h[i]
 	for i > 0 {
 		parent := (i - 1) >> 2
@@ -118,8 +150,8 @@ func (e *Engine) siftUp(i int) {
 	ev.index = int32(i)
 }
 
-func (e *Engine) siftDown(i int) {
-	h := e.heap
+func (q *heapQueue) siftDown(i int) {
+	h := q.h
 	n := len(h)
 	ev := h[i]
 	for {

@@ -1,0 +1,86 @@
+package sim
+
+import "fmt"
+
+// eventQueue is the engine's pending-event set. Both implementations —
+// the 4-ary min-heap (heap.go) and the hierarchical timing wheel
+// (wheel.go) — provide the identical contract:
+//
+//   - pop yields events in strict (at, seq) order, so same-instant
+//     events fire FIFO regardless of implementation;
+//   - a queued node's index field is >= 0 (its meaning is private to
+//     the implementation) and -1 once popped, removed, or drained,
+//     which is what Event.Pending keys off;
+//   - peek never changes observable state (it may cache, never
+//     restructure), so RunUntil boundary checks are free of side
+//     effects on scheduling order;
+//   - push/pop/remove allocate nothing in steady state, preserving the
+//     zero-alloc gates in bench_test.go;
+//   - drain recycles every queued node while keeping the backing
+//     storage, so Engine.Reset stays allocation-free.
+type eventQueue interface {
+	push(ev *event)
+	pop() *event  // minimum node, nil when empty
+	peek() *event // minimum node without restructuring, nil when empty
+	remove(ev *event)
+	size() int
+	drain(recycle func(*event))
+	kind() QueueKind
+}
+
+// QueueKind selects an eventQueue implementation.
+type QueueKind uint8
+
+const (
+	// QueueHeap is the 4-ary comparison min-heap: O(log n) push/pop,
+	// O(log n) remove, fully insensitive to the time distribution.
+	QueueHeap QueueKind = iota
+	// QueueWheel is the hierarchical timing wheel: O(1) push and
+	// remove, amortised O(1) pop on short-delta timer workloads, with
+	// occasional cascades when the clock crosses a slot-span boundary.
+	QueueWheel
+)
+
+func (k QueueKind) String() string {
+	switch k {
+	case QueueHeap:
+		return "heap"
+	case QueueWheel:
+		return "wheel"
+	default:
+		return fmt.Sprintf("queue?%d", uint8(k))
+	}
+}
+
+// ParseQueueKind resolves a -queue flag value.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "heap":
+		return QueueHeap, nil
+	case "wheel":
+		return QueueWheel, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown queue kind %q (want heap or wheel)", s)
+	}
+}
+
+// defaultQueue is the process-wide queue selection for NewEngine. The
+// compile-time default comes from the queue_default_*.go build-tag
+// pair; SetDefaultQueue lets benchsuite's -queue flag override it at
+// startup (before any engine is pooled).
+var defaultQueue = buildQueueKind
+
+// SetDefaultQueue overrides the queue implementation used by NewEngine.
+// Call it before constructing engines; existing engines keep the queue
+// they were built with (Reset preserves it).
+func SetDefaultQueue(k QueueKind) { defaultQueue = k }
+
+// DefaultQueue reports the queue implementation NewEngine will use.
+func DefaultQueue() QueueKind { return defaultQueue }
+
+func newQueue(e *Engine, k QueueKind) eventQueue {
+	if k == QueueWheel {
+		return newWheelQueue(e)
+	}
+	return &heapQueue{}
+}

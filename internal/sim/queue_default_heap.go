@@ -1,0 +1,9 @@
+//go:build !coregap_wheel
+
+package sim
+
+// buildQueueKind is the compile-time default event queue. The heap is
+// the default build; `-tags coregap_wheel` flips the default to the
+// timing wheel without touching runtime configuration. Benchsuite's
+// -queue flag overrides either default at startup.
+const buildQueueKind = QueueHeap

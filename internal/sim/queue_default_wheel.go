@@ -1,0 +1,7 @@
+//go:build coregap_wheel
+
+package sim
+
+// buildQueueKind under `-tags coregap_wheel`: the timing wheel becomes
+// the default event queue for every NewEngine call.
+const buildQueueKind = QueueWheel

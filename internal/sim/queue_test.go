@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Differential property test: the heap and the wheel must be
+// observationally indistinguishable. Both engines are driven with the
+// same fuzzed schedule/cancel/run stream derived from a seeded Source,
+// and every observable — fire order (time and label), handle liveness,
+// pending counts, NextEventTime at run boundaries — must match
+// exactly. `make check` runs this via the ordinary test suite; the
+// 64-seed sweep keeps it fast enough for every run while covering
+// cascade boundaries, same-instant FIFO ties, re-anchoring on empty,
+// and cancel-under-cascade interleavings.
+
+// queueScript drives one engine with a deterministic pseudo-random
+// mix of operations and returns the observable trace.
+func queueScript(e *Engine, seed uint64, ops int) []string {
+	var out []string
+	src := NewSource(seed) // engine-independent: both sides see the same ops
+	var handles []Event
+	record := func(tag string) {
+		out = append(out, fmt.Sprintf("%s now=%d pend=%d next=%d", tag, e.Now(), e.Pending(), e.NextEventTime()))
+	}
+	for i := 0; i < ops; i++ {
+		switch op := src.Intn(100); {
+		case op < 45: // schedule, biased to short deltas with a long tail
+			var d Duration
+			switch src.Intn(10) {
+			case 0:
+				d = Duration(src.Intn(1_000_000)) // far timer
+			case 1:
+				d = 0 // same-instant tie
+			default:
+				d = Duration(src.Intn(700) + 1) // short IPI/timer delta
+			}
+			label := fmt.Sprintf("ev%d", i)
+			h := e.After(d, label, func() { out = append(out, "fire "+label) })
+			handles = append(handles, h)
+		case op < 60: // cancel a random outstanding handle (may be stale)
+			if len(handles) > 0 {
+				j := src.Intn(len(handles))
+				e.Cancel(handles[j])
+			}
+		case op < 70: // probe a random handle's liveness
+			if len(handles) > 0 {
+				j := src.Intn(len(handles))
+				h := handles[j]
+				out = append(out, fmt.Sprintf("probe %d pending=%v at=%d", j, h.Pending(), h.Time()))
+			}
+		case op < 90: // run a bounded slice
+			e.RunFor(Duration(src.Intn(2000)))
+			record("ran")
+		default: // single step
+			e.Step()
+			record("stepped")
+		}
+	}
+	e.Run()
+	record("drained")
+	return out
+}
+
+func TestQueueDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 64; seed++ {
+		heap := NewEngineQueue(seed, QueueHeap)
+		wheel := NewEngineQueue(seed, QueueWheel)
+		want := queueScript(heap, seed, 400)
+		got := queueScript(wheel, seed, 400)
+		if len(want) != len(got) {
+			t.Fatalf("seed %d: trace length heap=%d wheel=%d", seed, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("seed %d: trace diverges at %d:\nheap:  %s\nwheel: %s", seed, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestQueueDifferentialReset replays the differential check across a
+// Reset boundary: a drained, reset wheel engine must keep matching the
+// heap on a fresh stream, proving drain leaves no residue (occupancy
+// bits, base, cached min).
+func TestQueueDifferentialReset(t *testing.T) {
+	heap := NewEngineQueue(7, QueueHeap)
+	wheel := NewEngineQueue(7, QueueWheel)
+	for round := 0; round < 8; round++ {
+		seed := uint64(100 + round)
+		heap.Reset(seed)
+		wheel.Reset(seed)
+		// Leave events pending at Reset half the time to exercise drain.
+		ops := 300 + round*37
+		want := queueScriptNoDrain(heap, seed, ops, round%2 == 0)
+		got := queueScriptNoDrain(wheel, seed, ops, round%2 == 0)
+		if len(want) != len(got) {
+			t.Fatalf("round %d: trace length heap=%d wheel=%d", round, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("round %d: trace diverges at %d:\nheap:  %s\nwheel: %s", round, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func queueScriptNoDrain(e *Engine, seed uint64, ops int, drain bool) []string {
+	out := queueScript(e, seed, ops)
+	if drain {
+		e.Run()
+	}
+	return out
+}

@@ -109,13 +109,14 @@ func (e Event) Pending() bool { return e.valid() && e.n.index >= 0 }
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	heap    []*event // 4-ary min-heap on (at, seq); see heap.go
-	free    []*event // recycled nodes; At/After allocate nothing in steady state
-	stopped bool
-	seed    uint64
-	sources map[string]*Source
+	now       Time
+	seq       uint64
+	q         eventQueue   // pending events; heap.go / wheel.go, selected in queue.go
+	free      []*event     // recycled nodes; At/After allocate nothing in steady state
+	recycleFn func(*event) // e.recycle, bound once so Reset's drain allocates nothing
+	stopped   bool
+	seed      uint64
+	sources   map[string]*Source
 
 	// Stats.
 	fired     uint64
@@ -129,10 +130,24 @@ type Engine struct {
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
-// sources derive from seed.
+// sources derive from seed, using the process-default event queue (see
+// SetDefaultQueue).
 func NewEngine(seed uint64) *Engine {
-	return &Engine{seed: seed, sources: make(map[string]*Source)}
+	return NewEngineQueue(seed, defaultQueue)
 }
+
+// NewEngineQueue returns an engine backed by an explicit event-queue
+// implementation. The choice changes performance only: event order,
+// handles, and every observable stream are identical across kinds.
+func NewEngineQueue(seed uint64, k QueueKind) *Engine {
+	e := &Engine{seed: seed, sources: make(map[string]*Source)}
+	e.q = newQueue(e, k)
+	e.recycleFn = e.recycle
+	return e
+}
+
+// QueueKind reports which event-queue implementation backs this engine.
+func (e *Engine) QueueKind() QueueKind { return e.q.kind() }
 
 // Reset rewinds the engine to its just-constructed state for a new seed
 // while keeping every backing allocation: the heap's array, the node
@@ -146,11 +161,7 @@ func NewEngine(seed uint64) *Engine {
 // Events still queued are discarded; their handles are invalidated by
 // the generation bump exactly as if they had been cancelled.
 func (e *Engine) Reset(seed uint64) {
-	for _, ev := range e.heap {
-		ev.index = -1
-		e.recycle(ev)
-	}
-	e.heap = e.heap[:0]
+	e.q.drain(e.recycleFn)
 	e.now = 0
 	e.seq = 0
 	e.stopped = false
@@ -185,7 +196,7 @@ func (e *Engine) At(t Time, label string, fn func()) Event {
 	ev.seq = e.seq
 	ev.fn = fn
 	ev.label = label
-	e.heapPush(ev)
+	e.q.push(ev)
 	if e.trc != nil {
 		e.trc.EmitDetail(TCEngine, "sched", label, LaneGlobal, int64(ev.seq))
 	}
@@ -212,7 +223,7 @@ func (e *Engine) Cancel(ev Event) {
 	if e.trc != nil {
 		e.trc.EmitDetail(TCEngine, "cancel", n.label, LaneGlobal, int64(n.seq))
 	}
-	e.heapRemove(int(n.index))
+	e.q.remove(n)
 	e.recycle(n)
 	e.cancelled++
 }
@@ -220,12 +231,15 @@ func (e *Engine) Cancel(ev Event) {
 // Step executes the single next event, advancing the clock. It reports
 // false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 || e.stopped {
+	if e.stopped {
 		return false
 	}
-	ev := e.heapPop()
+	ev := e.q.pop()
+	if ev == nil {
+		return false
+	}
 	if ev.at < e.now {
-		panic("sim: event heap corrupted (time went backwards)")
+		panic("sim: event queue corrupted (time went backwards)")
 	}
 	e.now = ev.at
 	e.fired++
@@ -251,7 +265,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then sets the clock to t
 // (if it has not already passed it). Events scheduled exactly at t run.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= t {
+	for !e.stopped {
+		m := e.q.peek()
+		if m == nil || m.at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t && !e.stopped {
@@ -269,15 +287,16 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.q.size() }
 
 // NextEventTime reports the timestamp of the earliest queued event, or
 // Forever when the queue is empty.
 func (e *Engine) NextEventTime() Time {
-	if len(e.heap) == 0 {
+	m := e.q.peek()
+	if m == nil {
 		return Forever
 	}
-	return e.heap[0].at
+	return m.at
 }
 
 // Source returns a named deterministic random source. The same (seed, name)

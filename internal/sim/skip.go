@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Source.Skip: O(1)-ish fast-forward of the xoshiro256** stream.
+//
+// The xoshiro256** state transition (everything in Uint64 except the
+// output scrambler) is linear over GF(2): each bit of the next state is
+// an XOR of bits of the current state. One step is therefore a 256x256
+// bit-matrix T applied to the state vector, and skipping k draws is
+// applying T^k — computed once per distinct k from cached T^(2^i)
+// powers and memoized, since the models use a small set of fill sizes
+// over and over. A memoized skip costs one 256-column matrix-vector
+// multiply (~1.5k simple ops), independent of k; skipping a million
+// draws costs the same as skipping a thousand.
+//
+// Small k takes a plain loop instead: below a few hundred draws the
+// loop is cheaper than the matrix apply, and the crossover keeps Skip
+// strictly no slower than drawing.
+//
+// This is what makes lazy µarch fills (internal/uarch) exact: a fill
+// that would consume n tag draws records its start state and calls
+// Skip(n), so every later consumer of the shared stream sees precisely
+// the state n draws would have produced, while the n values themselves
+// are only materialized (by replay from the recorded start state) if
+// an entry-level reader ever looks.
+
+// xoMatrix is a 256x256 GF(2) matrix stored as 256 columns, each a
+// 256-bit vector in 4 uint64 limbs: column i is M applied to unit
+// vector e_i, so M·v = XOR of columns at v's set bits.
+type xoMatrix [256][4]uint64
+
+// xoStepState advances the xoshiro256** state by one draw without
+// computing the (nonlinear, state-independent) output scrambler. It
+// must stay exactly in sync with Source.Uint64.
+func xoStepState(s [4]uint64) [4]uint64 {
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return s
+}
+
+func matVec(m *xoMatrix, v [4]uint64) (w [4]uint64) {
+	for limb := 0; limb < 4; limb++ {
+		rem := v[limb]
+		base := limb << 6
+		for rem != 0 {
+			i := base + bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			col := &m[i]
+			w[0] ^= col[0]
+			w[1] ^= col[1]
+			w[2] ^= col[2]
+			w[3] ^= col[3]
+		}
+	}
+	return w
+}
+
+func matMul(a, b *xoMatrix) *xoMatrix {
+	c := new(xoMatrix)
+	for j := range b {
+		c[j] = matVec(a, b[j])
+	}
+	return c
+}
+
+// xoPowers caches T^(2^i); xoJumps memoizes the composite matrix for
+// each distinct skip count ever requested. Both are process-wide and
+// written under xoMu; reads go through an atomically swapped immutable
+// map so the per-Touch lookup on the hot path takes no lock.
+var (
+	xoMu     sync.Mutex
+	xoPowers [64]*xoMatrix
+	xoJumps  atomic.Pointer[map[uint64]*xoMatrix]
+)
+
+// skipLoopMax is the largest k Skip handles by drawing in a loop. A
+// memoized matrix apply measures ~330ns against ~2.7ns per loop draw,
+// so the crossover sits near 125 draws.
+const skipLoopMax = 128
+
+// Skip advances the stream exactly k draws: the state afterwards is
+// identical to calling Uint64 k times and discarding the results.
+func (s *Source) Skip(k uint64) {
+	if k <= skipLoopMax {
+		for i := uint64(0); i < k; i++ {
+			t := s.s[1] << 17
+			s.s[2] ^= s.s[0]
+			s.s[3] ^= s.s[1]
+			s.s[1] ^= s.s[2]
+			s.s[0] ^= s.s[3]
+			s.s[2] ^= t
+			s.s[3] = rotl(s.s[3], 45)
+		}
+		return
+	}
+	s.s = matVec(jumpMatrix(k), s.s)
+}
+
+// jumpMatrix returns the memoized T^k.
+func jumpMatrix(k uint64) *xoMatrix {
+	if m := xoJumps.Load(); m != nil {
+		if j, ok := (*m)[k]; ok {
+			return j
+		}
+	}
+	xoMu.Lock()
+	defer xoMu.Unlock()
+	// Re-check under the lock: another goroutine may have published k.
+	old := xoJumps.Load()
+	if old != nil {
+		if j, ok := (*old)[k]; ok {
+			return j
+		}
+	}
+	var j *xoMatrix
+	for i, rem := 0, k; rem != 0; i, rem = i+1, rem>>1 {
+		if rem&1 == 0 {
+			continue
+		}
+		p := xoPower(i)
+		if j == nil {
+			j = p
+		} else {
+			j = matMul(p, j)
+		}
+	}
+	next := make(map[uint64]*xoMatrix)
+	if old != nil {
+		for kk, vv := range *old {
+			next[kk] = vv
+		}
+	}
+	next[k] = j
+	xoJumps.Store(&next)
+	return j
+}
+
+// xoPower returns T^(2^i), building (and caching) the chain up to i.
+// Caller holds xoMu.
+func xoPower(i int) *xoMatrix {
+	if xoPowers[0] == nil {
+		t := new(xoMatrix)
+		for bit := 0; bit < 256; bit++ {
+			var e [4]uint64
+			e[bit>>6] = 1 << uint(bit&63)
+			t[bit] = xoStepState(e)
+		}
+		xoPowers[0] = t
+	}
+	for p := 1; p <= i; p++ {
+		if xoPowers[p] == nil {
+			xoPowers[p] = matMul(xoPowers[p-1], xoPowers[p-1])
+		}
+	}
+	return xoPowers[i]
+}
+
+// State returns the raw stream state, and SetState restores it — the
+// snapshot/replay hooks lazy fills use to record where a deferred fill
+// started and to re-derive its draws on materialization.
+func (s *Source) State() [4]uint64 { return s.s }
+
+// SetState overwrites the stream state with a snapshot taken earlier
+// via State.
+func (s *Source) SetState(st [4]uint64) { s.s = st }

@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+// TestSkipMatchesDraws: Skip(k) must leave the stream in exactly the
+// state k discarded draws would, across the loop/matrix crossover and
+// for awkward k (powers of two, primes, the fill sizes the µarch
+// models actually use).
+func TestSkipMatchesDraws(t *testing.T) {
+	ks := []uint64{0, 1, 2, 3, 7, 63, 64, 65, 255, 256, 257, 511, 1000,
+		1024, 2048, 4096, 12007, 16384, 32768, 100000, 1 << 20}
+	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+		for _, k := range ks {
+			slow := NewSource(seed)
+			for i := uint64(0); i < k; i++ {
+				slow.Uint64()
+			}
+			fast := NewSource(seed)
+			fast.Skip(k)
+			if fast.s != slow.s {
+				t.Fatalf("seed %#x k=%d: Skip state %x, draws state %x", seed, k, fast.s, slow.s)
+			}
+			// The next draws must agree too (catches output-path bugs).
+			for i := 0; i < 4; i++ {
+				if g, w := fast.Uint64(), slow.Uint64(); g != w {
+					t.Fatalf("seed %#x k=%d draw %d: %x != %x", seed, k, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipComposes: Skip(a) then Skip(b) equals Skip(a+b) — the
+// property Touch relies on when it skips one summed batch for all
+// fourteen per-core buffers.
+func TestSkipComposes(t *testing.T) {
+	a, b := uint64(1234), uint64(876543)
+	x := NewSource(9)
+	x.Skip(a)
+	x.Skip(b)
+	y := NewSource(9)
+	y.Skip(a + b)
+	if x.s != y.s {
+		t.Fatalf("Skip(%d)+Skip(%d) != Skip(%d)", a, b, a+b)
+	}
+}
+
+// TestSourceStateRoundTrip: State/SetState snapshot and restore the
+// stream exactly — the replay hook for lazy fill materialization.
+func TestSourceStateRoundTrip(t *testing.T) {
+	s := NewSource(5)
+	s.Skip(1000)
+	saved := s.State()
+	var want [8]uint64
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+	s.SetState(saved)
+	for i := range want {
+		if g := s.Uint64(); g != want[i] {
+			t.Fatalf("draw %d after restore: %x != %x", i, g, want[i])
+		}
+	}
+}
+
+func BenchmarkSkipMemoized(b *testing.B) {
+	s := NewSource(1)
+	s.Skip(20000) // warm the memo for this k
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Skip(20000)
+	}
+}
+
+func BenchmarkSkipLoop(b *testing.B) {
+	s := NewSource(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Skip(200)
+	}
+}

@@ -1,0 +1,242 @@
+package sim
+
+import "math/bits"
+
+// wheelQueue is a hierarchical timing wheel (hashed calendar queue),
+// the O(1)-push sibling of the 4-ary heap in heap.go.
+//
+// Layout: 11 levels of 64 slots. A queued event's level is chosen from
+// the highest bit in which its timestamp differs from the wheel's base
+// (the running lower bound on every queued time), its slot from the
+// 6-bit digit of the timestamp at that level:
+//
+//	level = floor(msb(at XOR base) / 6)      (0 when at == base)
+//	slot  = (at >> (6*level)) & 63
+//
+// Level 0 slots therefore hold exactly one timestamp each; level k
+// slots hold a 64^k-wide span of timestamps. 11 levels x 6 bits cover
+// 66 bits — any int64 delta, so there is no overflow wheel.
+//
+// The key property the engine's determinism rests on is that this
+// digit mapping is monotone in the timestamp: for at1 < at2 (both
+// >= base), (level1, slot1) <= (level2, slot2) lexicographically. The
+// earliest queued event is thus always in the lowest occupied slot of
+// the lowest occupied level, found with two trailing-zero scans over
+// the occupancy bitmaps.
+//
+// pop cascades: while the lowest occupied level is > 0, base advances
+// to the start of that level's lowest occupied slot span and the
+// slot's events are refiled one or more levels down (their digit at
+// that level now matches base, so the XOR shrinks). Each refiled node
+// bumps the wheel.cascade counter. Once level 0 is occupied, the head
+// of its lowest slot is the minimum.
+//
+// Slot lists are intrusive circular doubly-linked lists threaded
+// through the event nodes' next/prev fields, with the sentinel array
+// embedded in the wheelQueue itself — push, remove, and cascade
+// allocate nothing. Lists are kept seq-sorted: fresh pushes carry the
+// globally maximal seq (tail append), and cascades refile an already
+// sorted list in order into slots at levels that are empty at cascade
+// time, so filtering preserves sortedness. FIFO order for same-instant
+// events follows.
+//
+// peek must not restructure (RunUntil's boundary check runs between
+// arbitrary events, and a cascade there would advance base past
+// timestamps the model may still schedule), so it scans: the lowest
+// occupied slot's list is time-sorted at level 0 (single timestamp,
+// seq order) and scanned linearly at higher levels. The result is
+// cached in min and invalidated by pop and by remove of the cached
+// node.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11
+)
+
+var cWheelCascade = DefineCounter("wheel.cascade")
+
+type wheelQueue struct {
+	eng  *Engine // cascade counter/trace hookup; nil in standalone tests
+	base Time    // lower bound on all queued times; advances only in pop
+	n    int
+	min  *event // cached peek result, nil when unknown
+
+	levels uint16              // bitmap: level has at least one occupied slot
+	occ    [wheelLevels]uint64 // bitmap per level: slot list is non-empty
+
+	// slot holds the embedded list sentinels. A slot's list is empty
+	// when its sentinel points to itself.
+	slot [wheelLevels][wheelSlots]event
+}
+
+func newWheelQueue(eng *Engine) *wheelQueue {
+	q := &wheelQueue{eng: eng}
+	for l := range q.slot {
+		for s := range q.slot[l] {
+			sent := &q.slot[l][s]
+			sent.next, sent.prev = sent, sent
+			sent.index = -1
+		}
+	}
+	return q
+}
+
+func (q *wheelQueue) kind() QueueKind { return QueueWheel }
+
+func (q *wheelQueue) size() int { return q.n }
+
+// file threads ev onto the slot list its timestamp maps to under the
+// current base.
+func (q *wheelQueue) file(ev *event) {
+	lvl := 0
+	if x := uint64(ev.at) ^ uint64(q.base); x != 0 {
+		lvl = (63 - bits.LeadingZeros64(x)) / wheelBits
+	}
+	s := int(uint64(ev.at)>>(uint(lvl)*wheelBits)) & wheelMask
+	sent := &q.slot[lvl][s]
+	ev.prev = sent.prev
+	ev.next = sent
+	sent.prev.next = ev
+	sent.prev = ev
+	ev.index = int32(lvl<<wheelBits | s)
+	q.occ[lvl] |= 1 << uint(s)
+	q.levels |= 1 << uint(lvl)
+}
+
+// unlink detaches ev from its slot list and updates occupancy.
+func (q *wheelQueue) unlink(ev *event) {
+	ev.prev.next = ev.next
+	ev.next.prev = ev.prev
+	lvl, s := int(ev.index)>>wheelBits, int(ev.index)&wheelMask
+	sent := &q.slot[lvl][s]
+	if sent.next == sent {
+		q.occ[lvl] &^= 1 << uint(s)
+		if q.occ[lvl] == 0 {
+			q.levels &^= 1 << uint(lvl)
+		}
+	}
+	ev.next, ev.prev = nil, nil
+	ev.index = -1
+	q.n--
+}
+
+func (q *wheelQueue) push(ev *event) {
+	if q.n == 0 && q.eng != nil {
+		// An empty wheel re-anchors base to the clock, keeping deltas
+		// (and thus levels) small regardless of absolute time. The
+		// anchor must be now, not ev.at: later pushes may carry any
+		// timestamp >= now, and base must lower-bound them all.
+		q.base = q.eng.now
+	}
+	q.file(ev)
+	q.n++
+	if q.min != nil && less(ev, q.min) {
+		q.min = ev
+	} else if q.n == 1 {
+		q.min = ev
+	}
+}
+
+func (q *wheelQueue) remove(ev *event) {
+	q.unlink(ev)
+	if ev == q.min {
+		q.min = nil
+	}
+}
+
+func (q *wheelQueue) peek() *event {
+	if q.n == 0 {
+		return nil
+	}
+	if q.min != nil {
+		return q.min
+	}
+	lvl := bits.TrailingZeros16(q.levels)
+	s := bits.TrailingZeros64(q.occ[lvl])
+	sent := &q.slot[lvl][s]
+	best := sent.next
+	if lvl > 0 {
+		// Higher-level lists are seq-sorted, not time-sorted: scan.
+		// Strict less keeps the earliest-seq node among time ties.
+		for ev := best.next; ev != sent; ev = ev.next {
+			if less(ev, best) {
+				best = ev
+			}
+		}
+	}
+	q.min = best
+	return best
+}
+
+func (q *wheelQueue) pop() *event {
+	if q.n == 0 {
+		return nil
+	}
+	for {
+		lvl := bits.TrailingZeros16(q.levels)
+		if lvl == 0 {
+			s := bits.TrailingZeros64(q.occ[0])
+			ev := q.slot[0][s].next
+			q.base = ev.at
+			q.unlink(ev)
+			q.min = nil
+			return ev
+		}
+		q.cascade(lvl)
+	}
+}
+
+// cascade redistributes the lowest occupied slot of level lvl: base
+// advances to the start of that slot's span and every event refiles at
+// a strictly lower level. Target levels are empty when a cascade runs
+// (the pop loop always works on the lowest occupied level), so
+// refiling the seq-sorted source list in order keeps every target list
+// seq-sorted.
+func (q *wheelQueue) cascade(lvl int) {
+	s := bits.TrailingZeros64(q.occ[lvl])
+	shift := uint(lvl) * wheelBits
+	span := uint64(1) << (shift + wheelBits)
+	q.base = Time(uint64(q.base)&^(span-1) | uint64(s)<<shift)
+
+	sent := &q.slot[lvl][s]
+	first := sent.next
+	last := sent.prev
+	sent.next, sent.prev = sent, sent
+	last.next = nil // terminate the detached chain
+	q.occ[lvl] &^= 1 << uint(s)
+	if q.occ[lvl] == 0 {
+		q.levels &^= 1 << uint(lvl)
+	}
+
+	var moved uint64
+	for ev := first; ev != nil; {
+		next := ev.next
+		q.file(ev)
+		moved++
+		ev = next
+	}
+	if q.eng != nil {
+		q.eng.CountN(cWheelCascade, moved)
+		if q.eng.trc != nil {
+			q.eng.trc.EmitDetail(TCEngine, "cascade", "wheel", LaneGlobal, int64(moved))
+		}
+	}
+}
+
+func (q *wheelQueue) drain(recycle func(*event)) {
+	for q.levels != 0 {
+		lvl := bits.TrailingZeros16(q.levels)
+		for q.occ[lvl] != 0 {
+			s := bits.TrailingZeros64(q.occ[lvl])
+			sent := &q.slot[lvl][s]
+			for sent.next != sent {
+				ev := sent.next
+				q.unlink(ev)
+				recycle(ev)
+			}
+		}
+	}
+	q.base = 0
+	q.min = nil
+}

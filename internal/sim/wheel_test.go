@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestWheelAgainstReference drives the wheelQueue directly (no engine)
+// with random push/pop/remove/peek streams against a sorted-slice
+// reference queue. It complements TestQueueDifferential by reaching
+// states the engine never produces through its own invariants — e.g.
+// peek storms between pops — and by checking node identity, not just
+// observable order. The op log in failures doubles as a shrinker.
+func TestWheelAgainstReference(t *testing.T) {
+	for seed := uint64(1); seed < 2000; seed++ {
+		src := NewSource(seed)
+		q := newWheelQueue(nil)
+		var ref []*event
+		var live []*event
+		seq := uint64(0)
+		now := Time(0)
+		var ops []string
+		fail := func(msg string) {
+			t.Fatalf("seed %d ops=%v: %s", seed, ops, msg)
+		}
+		for i := 0; i < 200; i++ {
+			switch o := src.Intn(10); {
+			case o < 5: // push
+				var d int
+				if src.Intn(10) == 0 {
+					d = src.Intn(1_000_000)
+				} else {
+					d = src.Intn(700)
+				}
+				seq++
+				ev := &event{at: now + Time(d), seq: seq}
+				q.push(ev)
+				ref = append(ref, ev)
+				live = append(live, ev)
+				ops = append(ops, fmt.Sprintf("push@%d#%d", ev.at, ev.seq))
+			case o < 6: // remove random live
+				if len(live) > 0 {
+					j := src.Intn(len(live))
+					ev := live[j]
+					q.remove(ev)
+					ops = append(ops, fmt.Sprintf("rm@%d#%d", ev.at, ev.seq))
+					live = append(live[:j], live[j+1:]...)
+					for k, e2 := range ref {
+						if e2 == ev {
+							ref = append(ref[:k], ref[k+1:]...)
+							break
+						}
+					}
+				}
+			case o < 8: // pop
+				sort.Slice(ref, func(a, b int) bool { return less(ref[a], ref[b]) })
+				got := q.pop()
+				if len(ref) == 0 {
+					if got != nil {
+						fail("pop nonempty on empty ref")
+					}
+					continue
+				}
+				want := ref[0]
+				if got != want {
+					fail(fmt.Sprintf("pop mismatch got@%d#%d want@%d#%d", got.at, got.seq, want.at, want.seq))
+				}
+				if got.at < now {
+					fail("time went backwards")
+				}
+				now = got.at
+				ops = append(ops, fmt.Sprintf("pop@%d#%d", got.at, got.seq))
+				ref = ref[1:]
+				for k, e2 := range live {
+					if e2 == got {
+						live = append(live[:k], live[k+1:]...)
+						break
+					}
+				}
+			default: // peek
+				sort.Slice(ref, func(a, b int) bool { return less(ref[a], ref[b]) })
+				got := q.peek()
+				if len(ref) == 0 {
+					if got != nil {
+						fail("peek nonempty on empty")
+					}
+					continue
+				}
+				if got != ref[0] {
+					fail("peek mismatch")
+				}
+			}
+			if q.size() != len(ref) {
+				fail("size mismatch")
+			}
+		}
+	}
+}

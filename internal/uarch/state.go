@@ -87,62 +87,34 @@ func (cs *CoreState) Touch(d DomainID, footprint, secretFrac float64, tagSrc *si
 	if footprint > 1 {
 		footprint = 1
 	}
+	// Record one lazy fillRun per structure and advance the shared tag
+	// stream once for the whole batch. Stream consumption is identical
+	// to the historical eager loop — buffers fill in kind order, one
+	// Uint64 per entry (Float64+Uint64 when secret-tagged) — so every
+	// later consumer of tagSrc sees exactly the state the eager fills
+	// would have left, and materialization replays exactly the values
+	// they would have written. Touch is the simulator's single hottest
+	// loop (every execution slice on every core lands here, with n up
+	// to the 16K-entry L2); deferring the per-entry draws behind
+	// Source.Skip's jump matrices is what removed it from the profile.
+	st := tagSrc.State()
+	drawsPer := uint32(1)
+	frac := -1.0
+	if secretFrac > 0 {
+		drawsPer = 2
+		frac = secretFrac
+	}
+	var skip uint32
 	for k := StructKind(0); k < sharedKindsStart; k++ {
 		b := cs.bufs[k]
-		n := int(footprint * float64(b.Cap()))
+		n := int(footprint * float64(b.cap))
 		if n == 0 {
 			n = 1
 		}
-		if secretFrac > 0 {
-			b.fillSecret(d, n, secretFrac, tagSrc)
-		} else {
-			b.fillPlain(d, n, tagSrc)
-		}
+		b.pushFill(d, n, frac, st, skip)
+		skip += drawsPer * uint32(n)
 	}
-}
-
-// fillPlain models n back-to-back fills of b by domain d with no secret
-// tagging. It draws exactly one tagSrc.Uint64 per entry in insertion
-// order — the same stream consumption and final ring state as n
-// successive Inserts — but hoists the ring bookkeeping out of the loop.
-// Touch is the simulator's single hottest loop (every execution slice
-// on every core lands here, with n up to the 16K-entry L2), which is
-// why it bypasses Insert's per-call eviction bookkeeping.
-func (b *Buffer) fillPlain(d DomainID, n int, tagSrc *sim.Source) {
-	c := b.cap
-	for ; n > 0 && len(b.entries) < c; n-- {
-		b.entries = append(b.entries, Entry{Domain: d, Tag: tagSrc.Uint64()})
-	}
-	entries, next := b.entries, b.next
-	for i := 0; i < n; i++ {
-		entries[next] = Entry{Domain: d, Tag: tagSrc.Uint64()}
-		next++
-		if next == c {
-			next = 0
-		}
-	}
-	b.next = next
-}
-
-// fillSecret is fillPlain with per-entry secret tagging: one Float64
-// draw (the secret decision) then one Uint64 draw (the tag) per entry,
-// in that order, matching the historical Insert loop byte for byte.
-func (b *Buffer) fillSecret(d DomainID, n int, secretFrac float64, tagSrc *sim.Source) {
-	c := b.cap
-	for ; n > 0 && len(b.entries) < c; n-- {
-		secret := tagSrc.Float64() < secretFrac
-		b.entries = append(b.entries, Entry{Domain: d, Secret: secret, Tag: tagSrc.Uint64()})
-	}
-	entries, next := b.entries, b.next
-	for i := 0; i < n; i++ {
-		secret := tagSrc.Float64() < secretFrac
-		entries[next] = Entry{Domain: d, Secret: secret, Tag: tagSrc.Uint64()}
-		next++
-		if next == c {
-			next = 0
-		}
-	}
-	b.next = next
+	tagSrc.Skip(uint64(skip))
 }
 
 // Warmth reports the fraction of per-core cache/TLB/predictor capacity

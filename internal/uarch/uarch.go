@@ -12,7 +12,11 @@
 // model (cold microarchitectural state after host interference, §2.3).
 package uarch
 
-import "fmt"
+import (
+	"fmt"
+
+	"coregap/internal/sim"
+)
 
 // DomainID identifies a security domain: the untrusted host, the trusted
 // monitor, or one confidential VM. Domains are the unit of distrust.
@@ -128,11 +132,42 @@ type Entry struct {
 // Buffer is a bounded structure holding tagged entries with FIFO
 // replacement. FIFO (rather than LRU) keeps the model simple; replacement
 // policy does not affect any security verdict, only warmth decay shape.
+//
+// Bulk fills from Touch are LAZY: they are recorded as fillRuns (domain,
+// count, tag-stream start state) while the stream itself is advanced
+// with Source.Skip, and the per-entry draws only happen if an
+// entry-level reader — Residue, Insert, FlushDomain — ever looks
+// (materialize replays the recorded runs and reconstructs entries
+// byte-identically to the eager fill). Aggregate readers — Len,
+// CountDomain, Occupancy, and through them Warmth — are answered from
+// ring-interval arithmetic over the runs without materializing, which
+// is what removes the fill loops from the simulator's hottest path.
 type Buffer struct {
 	kind    StructKind
 	cap     int
-	entries []Entry
-	next    int // FIFO replacement cursor
+	entries []Entry // materialized prefix; ring position == index
+	next    int     // FIFO replacement cursor of the materialized prefix
+
+	// Deferred fills, oldest first. While pend > 0 the buffer's true
+	// state is (entries, next) with every run replayed on top; vlen and
+	// vnext track the Len/next that replay would produce.
+	runs  []fillRun
+	pend  int // total entries across runs
+	vlen  int
+	vnext int
+}
+
+// fillRun is one deferred bulk fill: n entries by domain, whose tags
+// replay from src after skipping skip draws (the draws consumed by
+// earlier runs recorded in the same Touch batch). secretFrac < 0 marks
+// a plain fill (one draw per entry); >= 0 a secret fill (two).
+type fillRun struct {
+	src        [4]uint64
+	skip       uint32
+	n          int32
+	start      int32 // ring cursor where the run's first entry lands
+	domain     DomainID
+	secretFrac float64
 }
 
 // NewBuffer returns an empty buffer of the given capacity.
@@ -150,11 +185,19 @@ func (b *Buffer) Kind() StructKind { return b.kind }
 func (b *Buffer) Cap() int { return b.cap }
 
 // Len reports the number of valid entries.
-func (b *Buffer) Len() int { return len(b.entries) }
+func (b *Buffer) Len() int {
+	if b.pend > 0 {
+		return b.vlen
+	}
+	return len(b.entries)
+}
 
 // Insert adds an entry, evicting the oldest when full. It reports the
 // evicted entry (Domain == DomainNone when nothing was evicted).
 func (b *Buffer) Insert(e Entry) (evicted Entry) {
+	if b.pend > 0 {
+		b.materialize()
+	}
 	if len(b.entries) < b.cap {
 		b.entries = append(b.entries, e)
 		return Entry{}
@@ -170,9 +213,53 @@ func (b *Buffer) Insert(e Entry) (evicted Entry) {
 	return evicted
 }
 
-// CountDomain reports how many entries belong to d.
+// CountDomain reports how many entries belong to d. With fills pending
+// it is answered from run arithmetic: each run's surviving entry count
+// is its length minus however much the entries written after it wrapped
+// around the ring into it, and base entries count only where the runs'
+// combined write window has not overwritten them.
 func (b *Buffer) CountDomain(d DomainID) int {
 	n := 0
+	if b.pend > 0 {
+		newer := 0
+		for i := len(b.runs) - 1; i >= 0; i-- {
+			r := &b.runs[i]
+			vis := int(r.n)
+			if over := newer - (b.cap - vis); over > 0 {
+				vis -= over
+			}
+			if vis > 0 && r.domain == d {
+				n += vis
+			}
+			newer += int(r.n)
+		}
+		covered := b.pend
+		if covered > b.cap {
+			covered = b.cap
+		}
+		wstart := b.vnext - covered
+		if b.vlen < b.cap {
+			// Still in the append phase: the runs occupy the tail
+			// [vlen-covered, vlen) and never wrapped over the base.
+			wstart = b.vlen - covered
+		}
+		if wstart < 0 {
+			wstart += b.cap
+		}
+		for p, e := range b.entries {
+			if e.Domain != d {
+				continue
+			}
+			off := p - wstart
+			if off < 0 {
+				off += b.cap
+			}
+			if off >= covered {
+				n++
+			}
+		}
+		return n
+	}
 	for _, e := range b.entries {
 		if e.Domain == d {
 			n++
@@ -189,6 +276,9 @@ func (b *Buffer) Occupancy(d DomainID) float64 {
 // Residue reports all entries whose owner does not trust reader — i.e. the
 // foreign state a transient-execution primitive run by reader could sample.
 func (b *Buffer) Residue(reader DomainID) []Entry {
+	if b.pend > 0 {
+		b.materialize()
+	}
 	var out []Entry
 	for _, e := range b.entries {
 		if e.Domain != DomainNone && !e.Domain.Trusts(reader) {
@@ -210,9 +300,16 @@ func (b *Buffer) SecretResidue(reader DomainID) []Entry {
 }
 
 // Flush removes all entries (architectural flush, e.g. verw/DSB-style).
+// Pending fills are dropped unmaterialized — their tag draws were
+// consumed from the stream at fill time, exactly as an eager fill's
+// would have been.
 func (b *Buffer) Flush() {
 	b.entries = b.entries[:0]
 	b.next = 0
+	b.runs = b.runs[:0]
+	b.pend = 0
+	b.vlen = 0
+	b.vnext = 0
 }
 
 // Reset empties the buffer for reuse across trials. The entries slice
@@ -222,6 +319,9 @@ func (b *Buffer) Reset() { b.Flush() }
 
 // FlushDomain removes entries belonging to d, preserving others.
 func (b *Buffer) FlushDomain(d DomainID) {
+	if b.pend > 0 {
+		b.materialize()
+	}
 	kept := b.entries[:0]
 	for _, e := range b.entries {
 		if e.Domain != d {
@@ -235,4 +335,86 @@ func (b *Buffer) FlushDomain(d DomainID) {
 	if len(b.entries) < b.cap {
 		b.next = 0
 	}
+}
+
+// pushFill records a deferred bulk fill of n entries by domain d whose
+// tags derive from stream state src after skip draws. The caller is
+// responsible for advancing the live stream (Source.Skip) by exactly
+// the draws the fill would have consumed.
+func (b *Buffer) pushFill(d DomainID, n int, secretFrac float64, src [4]uint64, skip uint32) {
+	if b.pend == 0 {
+		b.vlen, b.vnext = len(b.entries), b.next
+	}
+	start := b.vlen
+	if b.vlen == b.cap {
+		start = b.vnext
+	}
+	b.runs = append(b.runs, fillRun{
+		src: src, skip: skip, n: int32(n), start: int32(start),
+		domain: d, secretFrac: secretFrac,
+	})
+	b.pend += n
+	if b.vlen += n; b.vlen >= b.cap {
+		b.vlen = b.cap
+		b.vnext = start + n
+		for b.vnext >= b.cap {
+			b.vnext -= b.cap
+		}
+	} else {
+		b.vnext = 0
+	}
+	// Slide the window: runs fully overwritten by everything recorded
+	// after them will never be observed, so drop them (and their replay
+	// cost) now. The draws they consumed are already accounted for in
+	// the stream.
+	drop := 0
+	for drop < len(b.runs)-1 && b.pend-int(b.runs[drop].n) >= b.cap {
+		b.pend -= int(b.runs[drop].n)
+		drop++
+	}
+	if drop > 0 {
+		b.runs = b.runs[:copy(b.runs, b.runs[drop:])]
+	}
+}
+
+// materialize replays every pending run, reconstructing the exact
+// entries an eager fill would have produced: each run's tag stream is
+// restored from its recorded start state and its entries written at
+// their recorded ring positions. Runs dropped by the sliding window are
+// not replayed; the entries they wrote are provably overwritten by the
+// runs that remain.
+func (b *Buffer) materialize() {
+	for len(b.entries) < b.vlen {
+		b.entries = append(b.entries, Entry{})
+	}
+	for ri := range b.runs {
+		r := &b.runs[ri]
+		var s sim.Source
+		s.SetState(r.src)
+		if r.skip > 0 {
+			s.Skip(uint64(r.skip))
+		}
+		pos := int(r.start)
+		if r.secretFrac < 0 {
+			for i := 0; i < int(r.n); i++ {
+				b.entries[pos] = Entry{Domain: r.domain, Tag: s.Uint64()}
+				pos++
+				if pos == b.cap {
+					pos = 0
+				}
+			}
+		} else {
+			for i := 0; i < int(r.n); i++ {
+				secret := s.Float64() < r.secretFrac
+				b.entries[pos] = Entry{Domain: r.domain, Secret: secret, Tag: s.Uint64()}
+				pos++
+				if pos == b.cap {
+					pos = 0
+				}
+			}
+		}
+	}
+	b.next = b.vnext
+	b.runs = b.runs[:0]
+	b.pend = 0
 }

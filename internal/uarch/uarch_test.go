@@ -329,12 +329,25 @@ func TestFillMatchesSequentialInsert(t *testing.T) {
 					secret := tc.secretFrac > 0 && refSrc.Float64() < tc.secretFrac
 					ref.Insert(Entry{Domain: d, Secret: secret, Tag: refSrc.Uint64()})
 				}
+				// Record the lazy run and advance the stream exactly as
+				// Touch does for each structure in its batch.
+				frac, draws := -1.0, uint64(n)
 				if tc.secretFrac > 0 {
-					fast.fillSecret(d, n, tc.secretFrac, fastSrc)
-				} else {
-					fast.fillPlain(d, n, fastSrc)
+					frac, draws = tc.secretFrac, uint64(2*n)
+				}
+				fast.pushFill(d, n, frac, fastSrc.State(), 0)
+				fastSrc.Skip(draws)
+				// Aggregates must agree while fills are still pending.
+				if ref.Len() != fast.Len() {
+					t.Fatalf("round %d: lazy Len %d, eager %d", r, fast.Len(), ref.Len())
+				}
+				for probe := 0; probe <= r; probe++ {
+					if rc, fc := ref.CountDomain(Guest(probe)), fast.CountDomain(Guest(probe)); rc != fc {
+						t.Fatalf("round %d: lazy CountDomain(%v) %d, eager %d", r, Guest(probe), fc, rc)
+					}
 				}
 			}
+			fast.materialize()
 			if ref.next != fast.next || len(ref.entries) != len(fast.entries) {
 				t.Fatalf("ring state diverged: next %d/%d len %d/%d",
 					ref.next, fast.next, len(ref.entries), len(fast.entries))

@@ -1,15 +1,18 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_6.json, the perf trajectory record for
+# bench.sh — regenerate BENCH_7.json, the perf trajectory record for
 # this repo.
 #
 # Quick mode (default, used by `make bench` / `make check`):
-#   - runs the internal/sim engine microbenchmarks (ns/op, allocs/op)
+#   - runs the internal/sim engine microbenchmarks (ns/op, allocs/op),
+#     including the empirical-delta replays (ScheduleShortDelta,
+#     TimerChurn) that decide the heap-vs-wheel event queue question
 #   - times a fixed benchsuite smoke run (-exp table3 -seed 42 -parallel 1)
 #   - records runner self-metrics (per-worker trials/steals/busy/idle,
 #     allocation deltas) from a table3 -parallel 2 -selfmetrics run
-#   - stamps provenance (git SHA, go version, GOOS/GOARCH)
-#   - preserves the "suite" section of an existing BENCH_6.json,
-#     seeding it from BENCH_5.json the first time
+#   - stamps provenance (git SHA, go version, GOOS/GOARCH, active event
+#     queue, snapshot forking on/off)
+#   - preserves the "suite" section of an existing BENCH_7.json,
+#     seeding it from BENCH_6.json the first time
 #
 # Full mode (BENCH_FULL=1, used when re-baselining a perf PR):
 #   - re-measures the legacy 11-experiment suite (the same set every
@@ -17,6 +20,10 @@
 #     -exp because -exp all grew the open-loop experiments) at
 #     -parallel 1, 2, 4 and 8, plus a -fresh serial run as the
 #     construction-cost baseline
+#   - A/Bs the serial suite along this PR's two axes: -snapshot=false
+#     (all_parallel1_nosnapshot_s) and -queue wheel
+#     (all_parallel1_wheel_s), so the boot-snapshot win and the
+#     queue-implementation decision stay measured, not asserted
 #   - times the open-loop experiments separately (openloop_parallel4_s)
 #     so their cost is visible without muddying the legacy trajectory
 #   - computes per-N parallel efficiency, eff(N) = p1 / (N * pN), and
@@ -30,7 +37,13 @@
 set -e
 cd "$(dirname "$0")/.."
 
-BENCH_OUT=${BENCH_OUT:-BENCH_6.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_7.json}
+# QUEUE selects the event-queue implementation for the suite runs (the
+# provenance records it); SNAPSHOT=0 disables boot-snapshot forking.
+QUEUE=${QUEUE:-heap}
+SNAPSHOT=${SNAPSHOT:-1}
+SNAPFLAG="-snapshot=true"
+[ "$SNAPSHOT" = "1" ] || SNAPFLAG="-snapshot=false"
 # The experiment set every earlier BENCH_N.json called "all": the
 # paper's eleven artifacts, pre-open-loop. Keep timing exactly this set
 # under the all_parallel{N}_s keys so the trajectory stays comparable.
@@ -39,7 +52,7 @@ TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 echo "bench: sim microbenchmarks..."
-go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$' \
+go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$|BenchmarkScheduleShortDelta$|BenchmarkTimerChurn$' \
     -benchmem -count=1 -run '^$' ./internal/sim >"$TMP/micro.txt"
 
 go build -o "$TMP/benchsuite" ./cmd/benchsuite
@@ -53,10 +66,11 @@ walltime() {
 }
 
 echo "bench: smoke run (table3, serial)..."
-SMOKE_S=$(walltime "$TMP/benchsuite" -exp table3 -seed 42 -parallel 1)
+SMOKE_S=$(walltime "$TMP/benchsuite" -exp table3 -seed 42 -parallel 1 -queue "$QUEUE" $SNAPFLAG)
 
 echo "bench: runner self-metrics (table3, -parallel 2)..."
-"$TMP/benchsuite" -exp table3 -seed 42 -parallel 2 -selfmetrics "$TMP/selfmetrics.json" >/dev/null
+"$TMP/benchsuite" -exp table3 -seed 42 -parallel 2 -queue "$QUEUE" $SNAPFLAG \
+    -selfmetrics "$TMP/selfmetrics.json" >/dev/null
 
 GIT_SHA=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 GO_VERSION=$(go version | awk '{print $3 "/" $4}')
@@ -66,24 +80,32 @@ SUITE_P2_S=""
 SUITE_P4_S=""
 SUITE_P8_S=""
 SUITE_FRESH_P1_S=""
+SUITE_NOSNAP_P1_S=""
+SUITE_WHEEL_P1_S=""
 OPENLOOP_P4_S=""
 if [ "${BENCH_FULL:-0}" = "1" ]; then
-    echo "bench: legacy suite, fresh (pooling off), -parallel 1 (minutes)..."
-    SUITE_FRESH_P1_S=$(walltime "$TMP/benchsuite" -exp "$LEGACY" -seed 42 -parallel 1 -fresh)
+    echo "bench: legacy suite, fresh (pooling off), -parallel 1..."
+    SUITE_FRESH_P1_S=$(walltime "$TMP/benchsuite" -exp "$LEGACY" -seed 42 -parallel 1 -fresh -queue "$QUEUE")
     for n in 1 2 4 8; do
         echo "bench: legacy suite, pooled, -parallel $n..."
-        eval "SUITE_P${n}_S=\$(walltime \"$TMP/benchsuite\" -exp \"$LEGACY\" -seed 42 -parallel $n)"
+        eval "SUITE_P${n}_S=\$(walltime \"$TMP/benchsuite\" -exp \"$LEGACY\" -seed 42 -parallel $n -queue \"$QUEUE\" $SNAPFLAG)"
     done
+    echo "bench: legacy suite A/B, serial, snapshot forking off..."
+    SUITE_NOSNAP_P1_S=$(walltime "$TMP/benchsuite" -exp "$LEGACY" -seed 42 -parallel 1 -queue "$QUEUE" -snapshot=false)
+    echo "bench: legacy suite A/B, serial, timing-wheel queue..."
+    SUITE_WHEEL_P1_S=$(walltime "$TMP/benchsuite" -exp "$LEGACY" -seed 42 -parallel 1 -queue wheel $SNAPFLAG)
     echo "bench: open-loop experiments, pooled, -parallel 4..."
-    OPENLOOP_P4_S=$(walltime "$TMP/benchsuite" -exp openloop,openloop-burst -seed 42 -parallel 4)
+    OPENLOOP_P4_S=$(walltime "$TMP/benchsuite" -exp openloop,openloop-burst -seed 42 -parallel 4 -queue "$QUEUE" $SNAPFLAG)
 fi
 
 MICRO="$TMP/micro.txt" SMOKE_S="$SMOKE_S" \
 SELFMETRICS="$TMP/selfmetrics.json" \
 GIT_SHA="$GIT_SHA" GO_VERSION="$GO_VERSION" \
+QUEUE="$QUEUE" SNAPSHOT="$SNAPSHOT" \
 SUITE_P1_S="$SUITE_P1_S" SUITE_P2_S="$SUITE_P2_S" \
 SUITE_P4_S="$SUITE_P4_S" SUITE_P8_S="$SUITE_P8_S" \
 SUITE_FRESH_P1_S="$SUITE_FRESH_P1_S" OPENLOOP_P4_S="$OPENLOOP_P4_S" \
+SUITE_NOSNAP_P1_S="$SUITE_NOSNAP_P1_S" SUITE_WHEEL_P1_S="$SUITE_WHEEL_P1_S" \
 BENCH_OUT="$BENCH_OUT" \
 python3 - <<'PYEOF'
 import json, os, re
@@ -105,11 +127,11 @@ if os.path.exists(out):
         prev = json.load(open(out))
     except Exception:
         prev = {}
-elif os.path.exists("BENCH_5.json"):
-    # First run after the BENCH_5 -> BENCH_6 switch: carry the suite
+elif os.path.exists("BENCH_6.json"):
+    # First run after the BENCH_6 -> BENCH_7 switch: carry the suite
     # trajectory forward so the history stays in one place.
     try:
-        prev = json.load(open("BENCH_5.json"))
+        prev = json.load(open("BENCH_6.json"))
     except Exception:
         prev = {}
 
@@ -117,8 +139,7 @@ suite = prev.get("suite", {})
 # Earlier engines measured with the identical commands on the same host
 # class: pre-PR-3 (before the zero-allocation hot path), PR 3 (before
 # per-worker context pooling; parallel 4 was *slower* than serial), and
-# PR 5 (pooled contexts, pre-windowed-metrics — the direct baseline for
-# this PR's Hist-internals replacement).
+# PR 5 (pooled contexts, pre-windowed-metrics).
 suite.setdefault("baseline_pre_pr3", {"all_parallel1_s": 55.9, "all_parallel8_s": 61.7})
 suite.setdefault("baseline_pr3", {"all_parallel1_s": 24.66, "all_parallel4_s": 27.2})
 suite.setdefault("baseline_pr5", {"all_parallel1_s": 27.09, "all_parallel2_s": 25.82,
@@ -130,13 +151,20 @@ suite.setdefault("baseline_pr6", {"all_parallel1_s": 24.74, "all_parallel2_s": 2
                                   "all_parallel4_s": 27.49, "all_parallel8_s": 27.96,
                                   "all_fresh_parallel1_s": 25.55})
 # The PR 7 re-baseline ran on a visibly slower host session than the
-# baseline_pr6 numbers (the *pre-PR* binary also measured ~17% slower
-# that day). An interleaved same-host pre/post A-B of a four-experiment
-# subset showed the tracing branch + counter increments inside noise
-# (pre 19.90/18.69 s vs post 18.68/17.79 s), so deltas against
+# baseline_pr6 numbers; an interleaved pre/post A-B showed the tracing
+# branch + counter increments inside noise, so the deltas vs
 # baseline_pr6 are host drift, not instrumentation cost.
+suite.setdefault("baseline_pr7", {"all_parallel1_s": 30.30, "all_parallel2_s": 28.34,
+                                  "all_parallel4_s": 28.89, "all_parallel8_s": 30.83,
+                                  "all_fresh_parallel1_s": 36.75,
+                                  "openloop_parallel4_s": 9.6})
 suite.setdefault("note_pr7", "suite deltas vs baseline_pr6 are host drift; "
                  "interleaved pre/post A-B showed no instrumentation overhead")
+suite.setdefault("note_pr8", "lazy uarch fills + boot-snapshot forking collapsed the "
+                 "serial suite ~15x vs baseline_pr7; the timing-wheel queue wins raw "
+                 "short-delta scheduling but loses the cancel-heavy TimerChurn replay "
+                 "and the suite A/B (all_parallel1_wheel_s), so the 4-ary heap stays "
+                 "the build default")
 
 walls = {}
 for n in (1, 2, 4, 8):
@@ -146,6 +174,10 @@ for n in (1, 2, 4, 8):
         suite[f"all_parallel{n}_s"] = walls[n]
 if os.environ.get("SUITE_FRESH_P1_S", ""):
     suite["all_fresh_parallel1_s"] = float(os.environ["SUITE_FRESH_P1_S"])
+if os.environ.get("SUITE_NOSNAP_P1_S", ""):
+    suite["all_parallel1_nosnapshot_s"] = float(os.environ["SUITE_NOSNAP_P1_S"])
+if os.environ.get("SUITE_WHEEL_P1_S", ""):
+    suite["all_parallel1_wheel_s"] = float(os.environ["SUITE_WHEEL_P1_S"])
 if os.environ.get("OPENLOOP_P4_S", ""):
     suite["openloop_parallel4_s"] = float(os.environ["OPENLOOP_P4_S"])
 
@@ -175,19 +207,21 @@ except Exception:
     pass
 
 doc = {
-    "pr": 7,
+    "pr": 8,
     "provenance": {
         "git_sha": os.environ.get("GIT_SHA", "unknown"),
         "go_version": os.environ.get("GO_VERSION", "unknown"),
+        "queue": os.environ.get("QUEUE", "heap"),
+        "snapshot_forking": os.environ.get("SNAPSHOT", "1") == "1",
     },
     # Efficiency is relative to the measuring host; on a single-CPU
     # host every eff(N>1) is bounded by 1/N and the scaling warning is
     # expected.
     "host_cpus": os.cpu_count(),
     "commands": {
-        "micro": "go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$' -benchmem ./internal/sim",
-        "smoke": "benchsuite -exp table3 -seed 42 -parallel 1",
-        "suite": "benchsuite -exp <legacy 11 experiments> -seed 42 -parallel {1,2,4,8} [+ -fresh at -parallel 1]",
+        "micro": "go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$|BenchmarkScheduleShortDelta$|BenchmarkTimerChurn$' -benchmem ./internal/sim",
+        "smoke": "benchsuite -exp table3 -seed 42 -parallel 1 -queue <queue>",
+        "suite": "benchsuite -exp <legacy 11 experiments> -seed 42 -parallel {1,2,4,8} -queue <queue> [+ -fresh | -snapshot=false | -queue wheel at -parallel 1]",
         "openloop": "benchsuite -exp openloop,openloop-burst -seed 42 -parallel 4",
         "runner": "benchsuite -exp table3 -seed 42 -parallel 2 -selfmetrics <file>",
     },
@@ -202,10 +236,10 @@ print(f"bench: wrote {out}")
 PYEOF
 
 # The gate half of `make bench`: the steady-state schedule/fire path —
-# including Engine.Reset reuse — must stay allocation-free, the
-# streaming recorder's record path must stay allocation-free once its
-# pages are faulted in, and a pooled trial must allocate at least 5x
-# fewer bytes than a fresh one.
+# both queue implementations, tracing off and on, including Engine.Reset
+# reuse — must stay allocation-free, the streaming recorder's record
+# path must stay allocation-free once its pages are faulted in, and a
+# pooled trial must allocate at least 5x fewer bytes than a fresh one.
 go test -run 'TestZeroAlloc|TestEngineResetZeroAlloc' -count=1 ./internal/sim >/dev/null
 go test -run 'TestRecorderZeroAlloc|TestWindowedZeroAlloc|TestHistReset' -count=1 ./internal/trace >/dev/null
 go test -run 'TestTrialAllocs' -count=1 ./internal/exp >/dev/null
