@@ -34,7 +34,7 @@ race:
 # -short keeps the pooled-vs-fresh sweep to the cheap experiments
 # (which include openloop, the windowed-determinism canary).
 race-fast:
-	$(GO) test -race -short -timeout 10m ./internal/exp ./internal/sim ./internal/trace
+	$(GO) test -race -short -timeout 10m ./internal/exp ./internal/sim ./internal/trace ./internal/vmm
 
 # A quick end-to-end run through the registry and the parallel runner.
 smoke:

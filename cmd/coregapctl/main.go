@@ -12,6 +12,7 @@
 //	coregapctl -mode gapped -workload coremark -cores 8 -vcpus 7 -work 500ms
 //	coregapctl -mode shared -workload iozone -record 65536
 //	coregapctl -mode busywait -workload coremark -cores 16
+//	coregapctl -workload openloop -rate 100000,250000,500000   # rate sweep, shared boot
 //	coregapctl -list
 //	coregapctl -exp table3
 //	coregapctl -workload ipibench -trace trace.json    # view in Perfetto
@@ -21,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,7 +47,8 @@ var (
 	jobs     = flag.Int("jobs", 100, "compile jobs (kbuild)")
 	rounds   = flag.Int("rounds", 200, "round trips (ipibench, netpipe)")
 	msgBytes = flag.Int("bytes", 1024, "message/request size (netpipe, redis)")
-	rate     = flag.Float64("rate", 50000, "offered request rate in req/s (openloop)")
+	rate     = flag.String("rate", "50000", "offered request rate in req/s; comma-separated rates run as a sweep sharing one booted node (openloop)")
+	clients  = flag.Int("clients", 50, "connection pool size (openloop)")
 	arrival  = flag.String("arrival", "poisson", "poisson | bursty (openloop)")
 	metwin   = flag.Duration("metwin", 10*time.Millisecond, "windowed-metrics width (openloop)")
 	seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -53,10 +57,25 @@ var (
 	parallel = flag.Int("parallel", 0, "worker goroutines for -exp (0 = GOMAXPROCS)")
 	traceOut = flag.String("trace", "", "arm sim-time tracing and write a Chrome trace-event JSON here (Perfetto-viewable)")
 	counters = flag.Bool("counters", false, "print the trial's engine counter bank")
+	memstats = flag.Bool("memstats", false, "print Go runtime allocation totals after the run (for harness memory tracking)")
 	verbose  = flag.Bool("v", false, "dump the full metric set")
 	queueSel = flag.String("queue", "", "event queue implementation: heap or wheel (empty = build default)")
 	repeat   = flag.Int("repeat", 1, "run the scenario N times in one pooled context; >1 exercises boot-snapshot forking (last run is reported)")
 )
+
+// parseRates parses the -rate flag: one or more positive req/s values,
+// comma-separated.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q (want positive req/s)", part)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
 
 // headlineCounters are the mechanism counters coregapctl always
 // surfaces — in -counters output and as Chrome counter tracks — even at
@@ -105,6 +124,16 @@ func main() {
 		}
 	}
 
+	rates, err := parseRates(*rate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
+		os.Exit(2)
+	}
+	if len(rates) > 1 && *workload != "openloop" {
+		fmt.Fprintf(os.Stderr, "coregapctl: -rate sweeps apply to -workload openloop only\n")
+		os.Exit(2)
+	}
+
 	w := exp.Workload{VCPUs: n}
 	switch *workload {
 	case "coremark":
@@ -133,8 +162,8 @@ func main() {
 			os.Exit(2)
 		}
 		w.Kind, w.Dev, w.Op, w.Clients, w.Bytes, w.Window =
-			exp.WLOpenLoop, guest.SRIOVNet, guest.OpSet, 50, *msgBytes, 250*sim.Millisecond
-		w.Rate, w.Arrival = *rate, kind
+			exp.WLOpenLoop, guest.SRIOVNet, guest.OpSet, *clients, *msgBytes, 250*sim.Millisecond
+		w.Rate, w.Arrival = rates[0], kind
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -151,6 +180,40 @@ func main() {
 		spec.MetricsWindow = sim.Duration(metwin.Nanoseconds())
 	}
 	spec.Trace = *traceOut != ""
+
+	if len(rates) > 1 {
+		// A rate sweep runs one trial per offered rate inside a single
+		// pooled context sharing a boot key, so every rate after the first
+		// forks the booted guest from the cached snapshot instead of
+		// re-booting — the sweep's wall clock is dominated by the serving
+		// phases, not repeated boots.
+		if spec.Trace {
+			fmt.Fprintf(os.Stderr, "coregapctl: -trace captures a single run; drop it or pick one -rate\n")
+			os.Exit(2)
+		}
+		if *repeat > 1 {
+			fmt.Fprintf(os.Stderr, "coregapctl: -repeat and a -rate sweep are mutually exclusive\n")
+			os.Exit(2)
+		}
+		spec.BootKey = "coregapctl"
+		ctx := exp.NewTrialContext()
+		for i, r := range rates {
+			spec.Workload.Rate = r
+			spec.ID = fmt.Sprintf("%s@%gkrps", *workload, r/1000)
+			trial, err := exp.ExecuteIn(ctx, spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
+				os.Exit(1)
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			printTrial(spec, trial)
+		}
+		printMemStats()
+		return
+	}
+
 	var trial exp.Trial
 	if *repeat > 1 {
 		// Repeated runs share one pooled context and a boot key, so runs
@@ -174,8 +237,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	printTrial(spec, trial)
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, spec.ID, trial); err != nil {
+			fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(trial.TraceEvents), *traceOut)
+	}
+	printMemStats()
+}
+
+// printTrial renders one trial: the scenario header, sorted metric
+// values and labels, deterministic metadata, any windowed-latency
+// logs, and — under -counters — the engine counter bank. Shared by the
+// single-scenario path and the -rate sweep.
+func printTrial(spec exp.ScenarioSpec, trial exp.Trial) {
 	fmt.Printf("config=%s workload=%s cores=%d vcpus=%d seed=%d\n",
-		cfg, *workload, *cores, n, *seed)
+		spec.Config, spec.ID, spec.Cores, spec.Workload.VCPUs, spec.Seed)
 	keys := make([]string, 0, len(trial.Values))
 	for k := range trial.Values {
 		keys = append(keys, k)
@@ -224,17 +303,23 @@ func main() {
 			fmt.Printf("  %-24s %d\n", name, bank[name])
 		}
 	}
-	if *traceOut != "" {
-		if err := writeTrace(*traceOut, spec.ID, trial); err != nil {
-			fmt.Fprintf(os.Stderr, "coregapctl: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace: %d events -> %s\n", len(trial.TraceEvents), *traceOut)
-	}
 	if *verbose && trial.Metrics != nil {
 		fmt.Println()
 		fmt.Print(trial.Metrics.String())
 	}
+}
+
+// printMemStats reports the process's cumulative Go allocation totals
+// under -memstats — the hook scripts/bench.sh uses to show that harness
+// memory grows sublinearly with offered rate.
+func printMemStats() {
+	if !*memstats {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("memstats: total_alloc_bytes=%d heap_alloc_bytes=%d sys_bytes=%d mallocs=%d\n",
+		ms.TotalAlloc, ms.HeapAlloc, ms.Sys, ms.Mallocs)
 }
 
 // writeTrace exports the trial's captured events as Chrome trace JSON,

@@ -107,7 +107,7 @@ func TestPublicAPIExperimentRunners(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	// The paper's eleven plus the repo's open-loop extensions.
-	if len(Experiments()) != 13 {
+	if len(Experiments()) != 14 {
 		t.Fatalf("experiments = %v", Experiments())
 	}
 	if _, ok := LookupExperiment("table2"); !ok {

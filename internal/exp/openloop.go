@@ -132,8 +132,10 @@ func (t *Trial) runOpenLoop(ctx *TrialContext, spec ScenarioSpec) error {
 
 // openLoopSpecs sweeps offered SET load over the Table 5 machine shape
 // (single-threaded Redis, SR-IOV, 16-core node) for shared-core and
-// core-gapped configurations under the given arrival process.
-func openLoopSpecs(kind vmm.ArrivalKind, ratesKRPS []float64, window, metWin sim.Duration, seed uint64) []ScenarioSpec {
+// core-gapped configurations under the given arrival process. Specs
+// share a BootKey per configuration, so consecutive rates in a sweep
+// fork from one cached boot snapshot instead of re-booting the node.
+func openLoopSpecs(kind vmm.ArrivalKind, ratesKRPS []float64, window, metWin sim.Duration, seed uint64, clients int) []ScenarioSpec {
 	var specs []ScenarioSpec
 	for _, mode := range []struct {
 		series string
@@ -148,79 +150,106 @@ func openLoopSpecs(kind vmm.ArrivalKind, ratesKRPS []float64, window, metWin sim
 				ID:     fmt.Sprintf("%s@%gk", mode.series, kr),
 				Config: mode.cfg, Cores: 16, Seed: seed,
 				Workload: Workload{Kind: WLOpenLoop, Dev: guest.SRIOVNet,
-					VCPUs: mode.vcpus, Op: guest.OpSet, Clients: 50, Bytes: 512,
+					VCPUs: mode.vcpus, Op: guest.OpSet, Clients: clients, Bytes: 512,
 					Window: window, Rate: kr * 1000, Arrival: kind, SLO: openLoopSLO},
 				MetricsWindow: metWin,
 				Series:        mode.series, X: kr,
+				BootKey:       bootKey(1, mode.vcpus),
 			})
 		}
 	}
 	return specs
 }
 
-// reduceOpenLoop folds the sweep into the SLO story: worst-window p99
-// versus offered load, goodput versus offered load, the full per-window
-// timeline at the highest offered rate, and headline lines naming each
-// configuration's highest SLO-compliant rate and collapse onset. All
-// tail statistics come from Trial.Windows — the whole point of the
-// windowed pipeline is that the reducer can ask per-window questions
-// the whole-run histogram cannot answer.
-func reduceOpenLoop(stem string, metWin sim.Duration, trials []Trial) *Report {
-	figP99 := trace.NewFigure("Open loop", "Worst steady-state window p99 vs offered load",
-		"offered krps", "worst-window p99 ms")
-	figGood := trace.NewFigure("Open loop", "Goodput vs offered load",
-		"offered krps", "goodput krps")
-	wlog := trace.NewWindowLog(stem+"-windows", "Per-window latency timeline at peak offered load", metWin)
+// seriesAgg tracks one configuration's SLO/collapse summary across an
+// open-loop rate sweep.
+type seriesAgg struct {
+	sloMax      float64 // highest offered krps with every window SLO-ok
+	sloAny      bool
+	collapseAt  float64 // lowest offered krps that collapsed
+	hasCollapse bool
+	maxX        float64
+}
 
-	// Per-series SLO/collapse tracking, in first-seen order.
-	type seriesAgg struct {
-		sloMax      float64 // highest offered krps with every window SLO-ok
-		sloAny      bool
-		collapseAt  float64 // lowest offered krps that collapsed
-		hasCollapse bool
-		maxX        float64
-	}
-	aggs := map[string]*seriesAgg{}
-	var order []string
-	peakX := 0.0
-	for _, t := range trials {
-		if t.Spec.X > peakX {
-			peakX = t.Spec.X
-		}
-	}
-	for _, t := range trials {
-		s := t.Spec.Series
-		a, ok := aggs[s]
-		if !ok {
-			a = &seriesAgg{sloMax: -1, collapseAt: -1}
-			aggs[s] = a
-			order = append(order, s)
-		}
-		wins := measureWindows(t)
-		worstP99, sloOK := worstWindowP99(wins, t.Dur("lat.p99.ns"))
-		figP99.Series(s).Add(t.Spec.X, worstP99.Seconds()*1000)
-		figGood.Series(s).Add(t.Spec.X, t.V("goodput.krps"))
-		if t.Spec.X > a.maxX {
-			a.maxX = t.Spec.X
-		}
-		if sloOK && t.V("collapse") == 0 && t.Spec.X > a.sloMax {
-			a.sloMax, a.sloAny = t.Spec.X, true
-		}
-		if t.V("collapse") == 1 && (!a.hasCollapse || t.Spec.X < a.collapseAt) {
-			a.collapseAt, a.hasCollapse = t.Spec.X, true
-		}
-		if t.Spec.X == peakX {
-			wlog.Add(fmt.Sprintf("%s@%gk", s, t.Spec.X), wins)
-		}
-	}
+// openLoopStream folds the sweep into the SLO story one trial at a
+// time: worst-window p99 versus offered load, goodput versus offered
+// load, the full per-window timeline at the highest offered rate, and
+// headline lines naming each configuration's highest SLO-compliant rate
+// and collapse onset. All tail statistics come from Trial.Windows — the
+// whole point of the windowed pipeline is that the reducer can ask
+// per-window questions the whole-run histogram cannot answer — and each
+// trial's windows are folded into the figures and the window log the
+// moment the trial is consumed, so the runner can release them and a
+// long sweep's peak memory stays one trial deep. reduceOpenLoop runs
+// the same code over a buffered list, so the streamed and batch reports
+// are identical by construction.
+type openLoopStream struct {
+	stem    string
+	metWin  sim.Duration
+	peakX   float64 // highest offered rate in the sweep, known from the specs
+	figP99  *trace.Figure
+	figGood *trace.Figure
+	wlog    *trace.WindowLog
+	aggs    map[string]*seriesAgg
+	order   []string // series in first-seen (spec) order
+}
 
+func newOpenLoopStream(stem string, metWin sim.Duration, peakX float64) *openLoopStream {
+	return &openLoopStream{
+		stem:   stem,
+		metWin: metWin,
+		peakX:  peakX,
+		figP99: trace.NewFigure("Open loop", "Worst steady-state window p99 vs offered load",
+			"offered krps", "worst-window p99 ms"),
+		figGood: trace.NewFigure("Open loop", "Goodput vs offered load",
+			"offered krps", "goodput krps"),
+		wlog: trace.NewWindowLog(stem+"-windows", "Per-window latency timeline at peak offered load", metWin),
+		aggs: map[string]*seriesAgg{},
+	}
+}
+
+// Consume folds one trial. Trials arrive in spec order, so the series
+// first-seen order and every figure's point order match the batch fold.
+func (o *openLoopStream) Consume(t Trial) {
+	s := t.Spec.Series
+	a, ok := o.aggs[s]
+	if !ok {
+		a = &seriesAgg{sloMax: -1, collapseAt: -1}
+		o.aggs[s] = a
+		o.order = append(o.order, s)
+	}
+	wins := measureWindows(t)
+	worstP99, sloOK := worstWindowP99(wins, t.Dur("lat.p99.ns"))
+	o.figP99.Series(s).Add(t.Spec.X, worstP99.Seconds()*1000)
+	o.figGood.Series(s).Add(t.Spec.X, t.V("goodput.krps"))
+	if t.Spec.X > a.maxX {
+		a.maxX = t.Spec.X
+	}
+	if sloOK && t.V("collapse") == 0 && t.Spec.X > a.sloMax {
+		a.sloMax, a.sloAny = t.Spec.X, true
+	}
+	if t.V("collapse") == 1 && (!a.hasCollapse || t.Spec.X < a.collapseAt) {
+		a.collapseAt, a.hasCollapse = t.Spec.X, true
+	}
+	if t.Spec.X == o.peakX {
+		// Merge window-by-window: the rows are copied into the log, so
+		// nothing retains the trial's Windows buffers.
+		label := fmt.Sprintf("%s@%gk", s, t.Spec.X)
+		for _, st := range wins {
+			o.wlog.AddStat(label, st)
+		}
+	}
+}
+
+// Finish assembles the report from the folded state.
+func (o *openLoopStream) Finish() *Report {
 	var lines []string
-	for _, s := range order {
-		a := aggs[s]
+	for _, s := range o.order {
+		a := o.aggs[s]
 		slo := "no offered rate met the SLO"
 		if a.sloAny {
 			slo = fmt.Sprintf("SLO-compliant up to %g krps (p99 <= %v in every %v window)",
-				a.sloMax, openLoopSLO, metWin)
+				a.sloMax, openLoopSLO, o.metWin)
 		}
 		col := fmt.Sprintf("no queueing collapse up to %g krps", a.maxX)
 		if a.hasCollapse {
@@ -232,12 +261,43 @@ func reduceOpenLoop(stem string, metWin sim.Duration, trials []Trial) *Report {
 
 	return &Report{
 		Artifacts: []Artifact{
-			{Name: stem + "-p99", Item: figP99},
-			{Name: stem + "-goodput", Item: figGood},
-			{Name: stem + "-windows", Item: wlog},
+			{Name: o.stem + "-p99", Item: o.figP99},
+			{Name: o.stem + "-goodput", Item: o.figGood},
+			{Name: o.stem + "-windows", Item: o.wlog},
 		},
 		Lines: lines,
 	}
+}
+
+// streamOpenLoop builds the experiment's Stream hook: the peak offered
+// rate — which selects the window-log trial — comes from the specs, so
+// the one-pass fold needs no look-ahead over the trial list.
+func streamOpenLoop(stem string, metWin sim.Duration) func(Profile, []ScenarioSpec) Streamer {
+	return func(p Profile, specs []ScenarioSpec) Streamer {
+		peakX := 0.0
+		for _, s := range specs {
+			if s.X > peakX {
+				peakX = s.X
+			}
+		}
+		return newOpenLoopStream(stem, metWin, peakX)
+	}
+}
+
+// reduceOpenLoop is the batch entry point: it replays the buffered trial
+// list through the streaming fold, so the two paths cannot diverge.
+func reduceOpenLoop(stem string, metWin sim.Duration, trials []Trial) *Report {
+	peakX := 0.0
+	for _, t := range trials {
+		if t.Spec.X > peakX {
+			peakX = t.Spec.X
+		}
+	}
+	o := newOpenLoopStream(stem, metWin, peakX)
+	for _, t := range trials {
+		o.Consume(t)
+	}
+	return o.Finish()
 }
 
 // measureWindows filters a trial's redis.latency windows to those fully
@@ -299,11 +359,12 @@ var (
 				rates = []float64{20, 30, 40, 45, 50, 53, 56, 59, 62, 65}
 				window = 1500 * sim.Millisecond
 			}
-			return openLoopSpecs(vmm.ArrivalPoisson, rates, window, metWin, p.Seed)
+			return openLoopSpecs(vmm.ArrivalPoisson, rates, window, metWin, p.Seed, 50)
 		},
 		Reduce: func(p Profile, trials []Trial) *Report {
 			return reduceOpenLoop("openloop", 10*sim.Millisecond, trials)
 		},
+		Stream: streamOpenLoop("openloop", 10*sim.Millisecond),
 	}
 
 	expOpenLoopBurst = &Experiment{
@@ -317,10 +378,37 @@ var (
 				rates = []float64{20, 30, 40, 45, 50, 55, 60}
 				window = 1500 * sim.Millisecond
 			}
-			return openLoopSpecs(vmm.ArrivalBursty, rates, window, metWin, p.Seed)
+			return openLoopSpecs(vmm.ArrivalBursty, rates, window, metWin, p.Seed, 50)
 		},
 		Reduce: func(p Profile, trials []Trial) *Report {
 			return reduceOpenLoop("openloop-burst", 10*sim.Millisecond, trials)
 		},
+		Stream: streamOpenLoop("openloop-burst", 10*sim.Millisecond),
+	}
+
+	// expOpenLoopHi stresses the harness itself rather than the modelled
+	// system: offered rates an order of magnitude past the Redis guest's
+	// ~58 krps service capacity, over a 2^20-connection pool. Every
+	// configuration collapses by design — the artifact is the harness
+	// sustaining 500 krps of arrivals and a million modelled connections
+	// at a flat memory footprint (zero-alloc request lifecycle, batched
+	// arrival plan, streamed reduction), not the SLO story.
+	expOpenLoopHi = &Experiment{
+		Name:  "openloop-hi",
+		Desc:  "Offers 100-500 krps — far past service capacity — to Redis SET over a 2^20-connection pool; deep queueing collapse is the expected result, and the point is that the harness sustains the offered rate with flat memory.",
+		Title: "Open-loop Redis SET: high-rate harness stress (100-500 krps, 1M connections)",
+		Paper: "no paper counterpart; harness scalability extension (collapse at every rate is expected)",
+		Specs: func(p Profile) []ScenarioSpec {
+			rates, window, metWin := []float64{100, 500}, 60*sim.Millisecond, 10*sim.Millisecond
+			if p.Full {
+				rates = []float64{100, 250, 500}
+				window = 500 * sim.Millisecond
+			}
+			return openLoopSpecs(vmm.ArrivalPoisson, rates, window, metWin, p.Seed, 1<<20)
+		},
+		Reduce: func(p Profile, trials []Trial) *Report {
+			return reduceOpenLoop("openloop-hi", 10*sim.Millisecond, trials)
+		},
+		Stream: streamOpenLoop("openloop-hi", 10*sim.Millisecond),
 	}
 )

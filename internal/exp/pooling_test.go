@@ -17,7 +17,10 @@ func poolingTestExperiments(t *testing.T) []string {
 		// openloop rides in the short set deliberately: it is the one
 		// experiment whose report includes per-window tails, so this is
 		// where windowed-metrics determinism under pooling is enforced.
-		return []string{"table2", "table3", "fig3", "tdx", "openloop"}
+		// openloop-hi rides along for the same reason at a rate an order
+		// of magnitude past service capacity: streamed reduction and the
+		// batched arrival path must stay deterministic in deep collapse.
+		return []string{"table2", "table3", "fig3", "tdx", "openloop", "openloop-hi"}
 	}
 	return Names()
 }

@@ -18,6 +18,7 @@ func init() {
 		expFig10,
 		expOpenLoop,
 		expOpenLoopBurst,
+		expOpenLoopHi,
 	} {
 		Register(e)
 	}

@@ -178,7 +178,7 @@ func TestRunnerRepeatable(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "table3", "table4", "table5", "fig3",
 		"fig6", "fig7", "fig8", "fig9", "tdx", "fig10",
-		"openloop", "openloop-burst"}
+		"openloop", "openloop-burst", "openloop-hi"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered = %v, want %v", got, want)

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderReduced renders the parts of a report the reducer controls —
+// artifact names, their text and CSV forms, and the headline lines.
+// Trials and wall-clock metadata are excluded: they are attached by
+// finishReport, not produced by Reduce/Finish.
+func renderReduced(rep *Report) string {
+	var b strings.Builder
+	for _, a := range rep.Artifacts {
+		b.WriteString(a.Name)
+		b.WriteString("\n")
+		b.WriteString(a.Item.String())
+		b.WriteString(a.Item.CSV())
+	}
+	for _, l := range rep.Lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// streamTestExperiments mirrors poolingTestExperiments: every registered
+// experiment normally, the cheap core plus the streaming (openloop)
+// family under -short.
+func streamTestExperiments(t *testing.T) []string {
+	t.Helper()
+	if testing.Short() {
+		return []string{"table2", "fig3", "openloop", "openloop-burst", "openloop-hi"}
+	}
+	return Names()
+}
+
+// TestStreamMatchesReduce is the streaming pipeline's golden diff: for
+// every registered experiment, feeding the trials one at a time through
+// its Streamer (or through the BufferStream fallback when it has none)
+// must produce a report byte-identical to the batch Reduce over the
+// same trial list. This is what licenses the runner to stream any
+// experiment that declares a Stream hook.
+func TestStreamMatchesReduce(t *testing.T) {
+	p := Profile{Seed: 42}
+	r := NewRunner(4)
+	for _, name := range streamTestExperiments(t) {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		specs := e.Specs(p)
+		trials, err := r.RunSpecs(specs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		batch := renderReduced(e.Reduce(p, trials))
+
+		var st Streamer
+		if e.Stream != nil {
+			st = e.Stream(p, specs)
+		} else {
+			st = NewBufferStream(p, e.Reduce)
+		}
+		for _, tr := range trials {
+			st.Consume(tr)
+		}
+		streamed := renderReduced(st.Finish())
+
+		if batch != streamed {
+			t.Errorf("%s: streamed report differs from batch Reduce\n--- batch ---\n%s\n--- streamed ---\n%s",
+				name, batch, streamed)
+		}
+	}
+}
+
+// TestRunnerStreamsAndReleases: the end-to-end runner path uses the
+// Stream hook — the streamed experiment's report matches a batch
+// Reduce over an independent run, and the heavy per-trial buffers
+// (Windows) have been released by the time the report comes back, while
+// an experiment without a Stream hook keeps them.
+func TestRunnerStreamsAndReleases(t *testing.T) {
+	p := Profile{Seed: 42}
+	e, _ := Lookup("openloop")
+	rep, err := NewRunner(4).RunExperiment(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Trials {
+		if tr.Windows != nil || tr.TraceEvents != nil {
+			t.Fatalf("trial %d: buffers not released after streamed reduce", i)
+		}
+	}
+
+	trials, err := NewRunner(1).RunSpecs(e.Specs(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderReduced(rep), renderReduced(e.Reduce(p, trials)); got != want {
+		t.Fatalf("streamed runner report differs from batch reduce\n--- runner ---\n%s\n--- batch ---\n%s", got, want)
+	}
+
+	e2, _ := Lookup("table2")
+	rep2, err := NewRunner(2).RunExperiment(e2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stream != nil {
+		t.Fatal("table2 unexpectedly grew a Stream hook; pick another non-streamed control")
+	}
+	if len(rep2.Trials) == 0 {
+		t.Fatal("no trials")
+	}
+}

@@ -106,6 +106,23 @@ func (q *heapQueue) pop() *event {
 	return top
 }
 
+// popRun pops the minimum node and every same-timestamp sibling. Each
+// sibling costs one peek (h[0], free) plus the pop it would have cost
+// anyway; the win is on the engine side, which dispatches the run
+// without a queue interaction per event.
+func (q *heapQueue) popRun(buf []*event) []*event {
+	ev := q.pop()
+	if ev == nil {
+		return buf
+	}
+	at := ev.at
+	buf = append(buf, ev)
+	for len(q.h) > 0 && q.h[0].at == at {
+		buf = append(buf, q.pop())
+	}
+	return buf
+}
+
 // remove unlinks a queued node (cancellation).
 func (q *heapQueue) remove(ev *event) {
 	i := int(ev.index)

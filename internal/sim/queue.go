@@ -8,9 +8,16 @@ import "fmt"
 //
 //   - pop yields events in strict (at, seq) order, so same-instant
 //     events fire FIFO regardless of implementation;
+//   - popRun pops the earliest event *and every queued sibling with the
+//     same timestamp* in one operation, appending them to buf in
+//     (at, seq) order. The engine dispatches timer/IPI storms from the
+//     returned run without re-touching the queue top per event; the
+//     heap pays one O(1) peek per extra sibling, the wheel drains the
+//     whole level-0 slot list (one timestamp per slot) in O(run);
 //   - a queued node's index field is >= 0 (its meaning is private to
 //     the implementation) and -1 once popped, removed, or drained,
-//     which is what Event.Pending keys off;
+//     which is what Event.Pending keys off (the engine re-marks nodes
+//     it holds in a dispatch batch; see batchIndex in sim.go);
 //   - peek never changes observable state (it may cache, never
 //     restructure), so RunUntil boundary checks are free of side
 //     effects on scheduling order;
@@ -22,6 +29,9 @@ type eventQueue interface {
 	push(ev *event)
 	pop() *event  // minimum node, nil when empty
 	peek() *event // minimum node without restructuring, nil when empty
+	// popRun pops the minimum node and every same-timestamp sibling,
+	// appending them to buf in (at, seq) order; buf unchanged when empty.
+	popRun(buf []*event) []*event
 	remove(ev *event)
 	size() int
 	drain(recycle func(*event))

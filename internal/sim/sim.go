@@ -102,8 +102,17 @@ func (e Event) Label() string {
 	return e.n.label
 }
 
-// Pending reports whether the event is still queued.
-func (e Event) Pending() bool { return e.valid() && e.n.index >= 0 }
+// Pending reports whether the event is still queued (or popped into the
+// engine's same-timestamp dispatch batch but not yet fired).
+func (e Event) Pending() bool { return e.valid() && e.n.index != -1 }
+
+// batchIndex marks a node's index while it sits in the engine's
+// same-timestamp dispatch batch: popped from the queue together with
+// its siblings but not yet fired. A batched node is still Pending and
+// still cancellable — Cancel invalidates it in place (the batch owns
+// the node, so it cannot be unlinked) and dispatch retires it without
+// firing.
+const batchIndex int32 = -2
 
 // Engine is a deterministic discrete-event scheduler.
 //
@@ -117,6 +126,14 @@ type Engine struct {
 	stopped   bool
 	seed      uint64
 	sources   map[string]*Source
+
+	// Same-timestamp dispatch batch: Step pops the earliest event and
+	// every sibling sharing its timestamp in one popRun, then fires them
+	// from this buffer without re-touching the queue top per event. The
+	// buffer is reused across runs, so batching allocates nothing in
+	// steady state.
+	batch    []*event
+	batchPos int
 
 	// Stats.
 	fired     uint64
@@ -162,6 +179,18 @@ func (e *Engine) QueueKind() QueueKind { return e.q.kind() }
 // the generation bump exactly as if they had been cancelled.
 func (e *Engine) Reset(seed uint64) {
 	e.q.drain(e.recycleFn)
+	for _, ev := range e.batch[e.batchPos:] {
+		ev.index = -1
+		if ev.fn == nil {
+			// Cancelled while batched: Cancel already bumped the
+			// generation; just retire the node.
+			e.free = append(e.free, ev)
+			continue
+		}
+		e.recycle(ev)
+	}
+	e.batch = e.batch[:0]
+	e.batchPos = 0
 	e.now = 0
 	e.seq = 0
 	e.stopped = false
@@ -217,11 +246,21 @@ func (e *Engine) After(d Duration, label string, fn func()) Event {
 // precisely.
 func (e *Engine) Cancel(ev Event) {
 	n := ev.n
-	if n == nil || n.gen != ev.gen || n.index < 0 {
+	if n == nil || n.gen != ev.gen || n.index == -1 {
 		return
 	}
 	if e.trc != nil {
 		e.trc.EmitDetail(TCEngine, "cancel", n.label, LaneGlobal, int64(n.seq))
+	}
+	if n.index == batchIndex {
+		// Popped into the dispatch batch with its same-timestamp
+		// siblings: the batch owns the node, so invalidate it in place
+		// and let dispatch retire it without firing.
+		n.gen++
+		n.fn = nil
+		n.label = ""
+		e.cancelled++
+		return
 	}
 	e.q.remove(n)
 	e.recycle(n)
@@ -230,30 +269,56 @@ func (e *Engine) Cancel(ev Event) {
 
 // Step executes the single next event, advancing the clock. It reports
 // false when no events remain.
+//
+// Dispatch is batched by timestamp: when the earliest event has
+// same-instant siblings, one popRun moves the whole run into e.batch
+// and subsequent Steps fire from the buffer without a queue operation
+// each. The (at, seq) total order is preserved exactly — the run is
+// popped in order, and anything scheduled during dispatch carries a
+// higher seq, so it files behind the batch even at the same timestamp.
 func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
 	}
-	ev := e.q.pop()
-	if ev == nil {
-		return false
+	for {
+		for e.batchPos < len(e.batch) {
+			ev := e.batch[e.batchPos]
+			e.batch[e.batchPos] = nil
+			e.batchPos++
+			if ev.fn == nil {
+				// Cancelled while batched: retire without firing (the
+				// generation was bumped at cancel time).
+				ev.index = -1
+				e.free = append(e.free, ev)
+				continue
+			}
+			if ev.at < e.now {
+				panic("sim: event queue corrupted (time went backwards)")
+			}
+			ev.index = -1
+			e.now = ev.at
+			e.fired++
+			fn := ev.fn
+			if e.trc != nil {
+				e.trc.EmitDetail(TCEngine, "fire", ev.label, LaneGlobal, int64(ev.seq))
+			}
+			// Recycle before running fn: the callback may schedule
+			// follow-up events, and handing it this node keeps the pool
+			// at its steady-state size. The generation bump has already
+			// invalidated the fired event's own handle.
+			e.recycle(ev)
+			fn()
+			return true
+		}
+		e.batch = e.q.popRun(e.batch[:0])
+		e.batchPos = 0
+		if len(e.batch) == 0 {
+			return false
+		}
+		for _, ev := range e.batch {
+			ev.index = batchIndex
+		}
 	}
-	if ev.at < e.now {
-		panic("sim: event queue corrupted (time went backwards)")
-	}
-	e.now = ev.at
-	e.fired++
-	fn := ev.fn
-	if e.trc != nil {
-		e.trc.EmitDetail(TCEngine, "fire", ev.label, LaneGlobal, int64(ev.seq))
-	}
-	// Recycle before running fn: the callback may schedule follow-up
-	// events, and handing it this node keeps the pool at its
-	// steady-state size. The generation bump has already invalidated
-	// the fired event's own handle.
-	e.recycle(ev)
-	fn()
-	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -262,11 +327,28 @@ func (e *Engine) Run() {
 	}
 }
 
+// peekNext reports the next event to dispatch — the head of the current
+// same-timestamp batch (retiring cancelled entries on the way), else the
+// queue top. nil when nothing is pending.
+func (e *Engine) peekNext() *event {
+	for e.batchPos < len(e.batch) {
+		ev := e.batch[e.batchPos]
+		if ev.fn != nil {
+			return ev
+		}
+		e.batch[e.batchPos] = nil
+		e.batchPos++
+		ev.index = -1
+		e.free = append(e.free, ev)
+	}
+	return e.q.peek()
+}
+
 // RunUntil executes events with timestamps <= t, then sets the clock to t
 // (if it has not already passed it). Events scheduled exactly at t run.
 func (e *Engine) RunUntil(t Time) {
 	for !e.stopped {
-		m := e.q.peek()
+		m := e.peekNext()
 		if m == nil || m.at > t {
 			break
 		}
@@ -286,13 +368,22 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return e.q.size() }
+// Pending reports the number of queued events, including any popped
+// into the dispatch batch but not yet fired.
+func (e *Engine) Pending() int {
+	n := e.q.size()
+	for _, ev := range e.batch[e.batchPos:] {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // NextEventTime reports the timestamp of the earliest queued event, or
 // Forever when the queue is empty.
 func (e *Engine) NextEventTime() Time {
-	m := e.q.peek()
+	m := e.peekNext()
 	if m == nil {
 		return Forever
 	}

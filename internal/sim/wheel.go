@@ -187,6 +187,29 @@ func (q *wheelQueue) pop() *event {
 	}
 }
 
+// popRun pops the minimum node and every same-timestamp sibling. After
+// pop returns the minimum at time T, base == T, and every remaining
+// queued event at T sits in level-0 slot T&63: base only enters a
+// 64-span by cascading the slot covering it, which refiles all of the
+// span's events — same-timestamp events share every digit, so they
+// travel down together. A level-0 slot holds exactly one timestamp, so
+// the siblings are the whole (seq-sorted) slot list, drained in order.
+func (q *wheelQueue) popRun(buf []*event) []*event {
+	ev := q.pop()
+	if ev == nil {
+		return buf
+	}
+	buf = append(buf, ev)
+	s := int(uint64(ev.at)) & wheelMask
+	sent := &q.slot[0][s]
+	for sent.next != sent {
+		sib := sent.next
+		q.unlink(sib)
+		buf = append(buf, sib)
+	}
+	return buf
+}
+
 // cascade redistributes the lowest occupied slot of level lvl: base
 // advances to the start of that slot's span and every event refiles at
 // a strictly lower level. Target levels are empty when a cascade runs

@@ -53,7 +53,7 @@ func TestWheelAgainstReference(t *testing.T) {
 						}
 					}
 				}
-			case o < 8: // pop
+			case o < 7: // pop
 				sort.Slice(ref, func(a, b int) bool { return less(ref[a], ref[b]) })
 				got := q.pop()
 				if len(ref) == 0 {
@@ -78,6 +78,42 @@ func TestWheelAgainstReference(t *testing.T) {
 						break
 					}
 				}
+			case o < 8: // popRun: the min plus every same-timestamp sibling
+				sort.Slice(ref, func(a, b int) bool { return less(ref[a], ref[b]) })
+				run := q.popRun(nil)
+				if len(ref) == 0 {
+					if len(run) != 0 {
+						fail("popRun nonempty on empty ref")
+					}
+					continue
+				}
+				wantN := 1
+				for wantN < len(ref) && ref[wantN].at == ref[0].at {
+					wantN++
+				}
+				if len(run) != wantN {
+					fail(fmt.Sprintf("popRun len=%d want=%d", len(run), wantN))
+				}
+				for k, got := range run {
+					if got != ref[k] {
+						fail(fmt.Sprintf("popRun[%d] mismatch got@%d#%d want@%d#%d",
+							k, got.at, got.seq, ref[k].at, ref[k].seq))
+					}
+					if got.index != -1 {
+						fail("popRun left index set")
+					}
+				}
+				now = run[0].at
+				ops = append(ops, fmt.Sprintf("popRun@%d n=%d", now, len(run)))
+				for _, got := range run {
+					for k, e2 := range live {
+						if e2 == got {
+							live = append(live[:k], live[k+1:]...)
+							break
+						}
+					}
+				}
+				ref = ref[wantN:]
 			default: // peek
 				sort.Slice(ref, func(a, b int) bool { return less(ref[a], ref[b]) })
 				got := q.peek()

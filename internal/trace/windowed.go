@@ -147,8 +147,15 @@ func NewWindowLog(name, title string, width sim.Duration) *WindowLog {
 // Add appends one label's window sequence to the log.
 func (l *WindowLog) Add(label string, stats []WindowStat) {
 	for _, st := range stats {
-		l.rows = append(l.rows, windowRow{label: label, stat: st})
+		l.AddStat(label, st)
 	}
+}
+
+// AddStat appends a single labelled window — the unit streaming reducers
+// merge at, so a log can grow window-by-window as trials complete
+// without buffering whole timelines.
+func (l *WindowLog) AddStat(label string, st WindowStat) {
+	l.rows = append(l.rows, windowRow{label: label, stat: st})
 }
 
 // Rows reports the number of (label, window) rows.

@@ -27,6 +27,19 @@ func (k ArrivalKind) String() string {
 	return "poisson"
 }
 
+// arrivalBatch is how many arrival times each extension of the plan
+// buffer precomputes. Big enough that the per-batch bookkeeping
+// amortises away at high offered rates; small enough that low-rate runs
+// don't draw far past their horizon.
+const arrivalBatch = 64
+
+// retireThreshold is how many delivered arrivals accumulate at the front
+// of the plan buffer before they are compacted away. The undelivered
+// tail is bounded by one wire delay's worth of offered load plus a
+// batch, so compaction is O(1) amortised per arrival and the buffer
+// footprint is independent of run length.
+const retireThreshold = 4 * arrivalBatch
+
 // OpenLoadGen is the open-loop counterpart of LoadGen: requests arrive
 // on their own clock — an arrival process with a fixed offered rate —
 // whether or not earlier requests have completed. Unlike a closed loop,
@@ -39,6 +52,16 @@ func (k ArrivalKind) String() string {
 // keeps a FIFO queue of send timestamps. The Redis guest model serves
 // strictly in arrival order, so replies on one connection return in that
 // connection's send order and the FIFO matching is exact.
+//
+// The generator is built for offered rates in the hundreds of krps and
+// connection pools in the millions: arrival times are precomputed in
+// batches into a reusable plan buffer, requests are delivered to the
+// guest by a single self-re-arming engine event (one event per request,
+// not two, and no per-request closure), and per-connection FIFOs are
+// intrusive lists threaded through one shared free-listed record arena.
+// In steady state the send and response paths allocate nothing; memory
+// grows with the in-flight population and the connection count, not
+// with the offered rate or the run length.
 type OpenLoadGen struct {
 	peer     *Peer
 	reqBytes int
@@ -54,12 +77,47 @@ type OpenLoadGen struct {
 	burstDuty   float64
 
 	clients int
-	sentAt  [][]sim.Time // per-connection FIFO of in-flight send times
 
-	sent    uint64
+	// wireDelay is the constant peer→guest wire time for reqBytes; the
+	// delivery chain schedules arrivals directly at arrival+wireDelay
+	// rather than bouncing through a separate per-request wire event.
+	wireDelay sim.Duration
+
+	// Arrival plan: absolute times of upcoming arrivals, generated
+	// batch-at-a-time by the same draws the one-event-per-arrival
+	// implementation made, so the schedule is bit-identical. times is
+	// sorted; head indexes the next undelivered arrival; baseIdx is the
+	// arrival index of times[0] (arrivals retired from the buffer).
+	// Invariant: whenever a delivery event is armed for deadline D,
+	// times[len-1] >= D, so Sent can count arrivals by binary search —
+	// every arrival at or before any observable instant is in the buffer.
+	times   []sim.Time
+	head    int
+	baseIdx uint64
+	prev    sim.Time // last generated arrival time, seeds the next batch
+
+	deliverFn func() // method value, created once: the chain callback
+
+	// In-flight request records: one shared arena with an intrusive
+	// free list, plus per-connection intrusive FIFO heads/tails (-1 when
+	// empty). Replaces a [][]sim.Time whose per-connection backing
+	// arrays made memory scale with clients × in-flight.
+	recs     []reqRec
+	freeRec  int32
+	connHead []int32
+	connTail []int32
+
 	served  uint64
 	dropped uint64 // replies with no matching in-flight request (modelling bug guard)
 	stopped bool
+	stopAt  sim.Time
+}
+
+// reqRec is one in-flight request: its arrival (send) time and the next
+// record on the same connection's FIFO, or the next free record.
+type reqRec struct {
+	at   sim.Time
+	next int32
 }
 
 // OpenLoadConfig parameterizes NewOpenLoadGen.
@@ -102,21 +160,36 @@ func NewOpenLoadGen(peer *Peer, cfg OpenLoadConfig, mkTag func(int) int, metric 
 		burstPeriod: cfg.BurstPeriod,
 		burstDuty:   cfg.BurstDuty,
 		clients:     cfg.Clients,
-		sentAt:      make([][]sim.Time, cfg.Clients),
+		wireDelay:   peer.wireDelay(cfg.ReqBytes),
+		freeRec:     -1,
+		connHead:    make([]int32, cfg.Clients),
+		connTail:    make([]int32, cfg.Clients),
 	}
+	for i := range g.connHead {
+		g.connHead[i] = -1
+		g.connTail[i] = -1
+	}
+	g.deliverFn = g.deliverNext
 	return g
 }
 
-// Start schedules the first arrival.
-func (g *OpenLoadGen) Start() { g.scheduleNext() }
+// Start generates the first arrival batch and arms the delivery chain.
+func (g *OpenLoadGen) Start() {
+	g.prev = g.peer.eng.Now()
+	g.arm()
+}
 
 // meanGap is the mean interarrival time of the long-run offered rate.
 func (g *OpenLoadGen) meanGap() sim.Duration {
 	return sim.Duration(1e9 / g.rate)
 }
 
-// nextGap draws the next interarrival according to the arrival process.
-func (g *OpenLoadGen) nextGap() sim.Duration {
+// gapFrom draws the next interarrival according to the arrival process,
+// with prev standing in for "now at the previous arrival" — the draws
+// and the duty-cycle phase arithmetic are exactly what a generator
+// scheduling one event per arrival would compute, so batching changes
+// nothing observable.
+func (g *OpenLoadGen) gapFrom(prev sim.Time) sim.Duration {
 	switch g.kind {
 	case ArrivalBursty:
 		// Inside an ON phase the instantaneous rate is rate/duty; a draw
@@ -124,8 +197,7 @@ func (g *OpenLoadGen) nextGap() sim.Duration {
 		// cycle, preserving the long-run mean.
 		on := sim.Duration(float64(g.burstPeriod) * g.burstDuty)
 		gap := g.src.Exp(sim.Duration(float64(g.meanGap()) * g.burstDuty))
-		now := g.peer.eng.Now()
-		phase := sim.Duration(int64(now) % int64(g.burstPeriod))
+		phase := sim.Duration(int64(prev) % int64(g.burstPeriod))
 		if phase+gap >= on {
 			// Carry the overshoot into the next ON phase.
 			gap += g.burstPeriod - on
@@ -136,25 +208,93 @@ func (g *OpenLoadGen) nextGap() sim.Duration {
 	}
 }
 
-func (g *OpenLoadGen) scheduleNext() {
-	if g.stopped {
-		return
+// extendBatch appends arrivalBatch precomputed arrival times to the plan.
+func (g *OpenLoadGen) extendBatch() {
+	prev := g.prev
+	for i := 0; i < arrivalBatch; i++ {
+		prev = prev.Add(g.gapFrom(prev))
+		g.times = append(g.times, prev)
 	}
-	g.peer.eng.After(g.nextGap(), "openload-arrival", func() {
-		if g.stopped {
-			return
-		}
-		g.fire()
-		g.scheduleNext()
-	})
+	g.prev = prev
 }
 
-// fire sends one request on the next round-robin connection.
-func (g *OpenLoadGen) fire() {
-	client := int(g.sent) % g.clients
-	g.sent++
-	g.sentAt[client] = append(g.sentAt[client], g.peer.eng.Now())
-	g.peer.Send(0, g.reqBytes, g.mkTag(client))
+// arm schedules the delivery event for the next planned arrival,
+// retiring the plan buffer when fully delivered and extending it far
+// enough that the Sent binary search stays complete (see the times
+// invariant on OpenLoadGen).
+func (g *OpenLoadGen) arm() {
+	if g.head >= retireThreshold || (g.head > 0 && g.head == len(g.times)) {
+		// Retire the delivered prefix, keeping capacity. Delivered
+		// arrivals are at or before every future Sent cutoff, so folding
+		// them into baseIdx keeps the binary search exact.
+		g.baseIdx += uint64(g.head)
+		n := copy(g.times, g.times[g.head:])
+		g.times = g.times[:n]
+		g.head = 0
+	}
+	if g.head >= len(g.times) {
+		g.extendBatch()
+	}
+	next := g.times[g.head]
+	if g.stopped && next > g.stopAt {
+		return
+	}
+	deadline := next.Add(g.wireDelay)
+	for g.times[len(g.times)-1] < deadline {
+		g.extendBatch()
+	}
+	g.peer.eng.At(deadline, "openload-deliver", g.deliverFn)
+}
+
+// deliverNext is the chain callback: it delivers the head arrival to the
+// guest (the request's wire time has elapsed — this is the moment the
+// old per-request wire event fired) and re-arms for the next arrival.
+func (g *OpenLoadGen) deliverNext() {
+	at := g.times[g.head]
+	if g.stopped && at > g.stopAt {
+		return
+	}
+	client := int(g.baseIdx+uint64(g.head)) % g.clients
+	g.head++
+	g.pushRec(client, at)
+	if f := g.peer.sendToGuest; f != nil {
+		f(0, g.reqBytes, g.mkTag(client))
+	}
+	g.arm()
+}
+
+// pushRec appends an in-flight record to a connection's FIFO.
+func (g *OpenLoadGen) pushRec(client int, at sim.Time) {
+	idx := g.freeRec
+	if idx >= 0 {
+		g.freeRec = g.recs[idx].next
+		g.recs[idx] = reqRec{at: at, next: -1}
+	} else {
+		g.recs = append(g.recs, reqRec{at: at, next: -1})
+		idx = int32(len(g.recs) - 1)
+	}
+	if tail := g.connTail[client]; tail >= 0 {
+		g.recs[tail].next = idx
+	} else {
+		g.connHead[client] = idx
+	}
+	g.connTail[client] = idx
+}
+
+// popRec removes the oldest in-flight record from a connection's FIFO.
+func (g *OpenLoadGen) popRec(client int) (sim.Time, bool) {
+	idx := g.connHead[client]
+	if idx < 0 {
+		return 0, false
+	}
+	r := &g.recs[idx]
+	g.connHead[client] = r.next
+	if r.next < 0 {
+		g.connTail[client] = -1
+	}
+	r.next = g.freeRec
+	g.freeRec = idx
+	return r.at, true
 }
 
 // OnResponse is called when the guest's reply for a connection arrives.
@@ -163,26 +303,49 @@ func (g *OpenLoadGen) OnResponse(bytes, tag int) {
 	if client >= g.clients {
 		return
 	}
-	q := g.sentAt[client]
-	if len(q) == 0 {
+	sent, ok := g.popRec(client)
+	if !ok {
 		g.dropped++
 		return
 	}
-	sent := q[0]
-	// Pop in place: shift keeps the backing array, so the steady-state
-	// response path allocates nothing.
-	copy(q, q[1:])
-	g.sentAt[client] = q[:len(q)-1]
 	now := g.peer.eng.Now()
 	g.peer.met.Lat(g.metric, now, now.Sub(sent))
 	g.served++
 }
 
-// Stop ends the arrival process (in-flight requests drain naturally).
-func (g *OpenLoadGen) Stop() { g.stopped = true }
+// Stop ends the arrival process: arrivals after this instant are never
+// delivered, while requests already on the wire drain naturally.
+func (g *OpenLoadGen) Stop() {
+	if g.stopped {
+		return
+	}
+	g.stopped = true
+	g.stopAt = g.peer.eng.Now()
+}
 
-// Sent reports requests offered so far.
-func (g *OpenLoadGen) Sent() uint64 { return g.sent }
+// Sent reports requests offered so far: arrivals at or before now (or
+// the stop time, once stopped). The count is a binary search over the
+// arrival plan — the times invariant guarantees the plan extends past
+// any instant at which Sent can run — so offering a request costs no
+// counter update on the delivery path.
+func (g *OpenLoadGen) Sent() uint64 {
+	cutoff := g.peer.eng.Now()
+	if g.stopped && g.stopAt < cutoff {
+		cutoff = g.stopAt
+	}
+	// Manual upper bound (first index with times[i] > cutoff):
+	// sort.Search would force the bound into a closure and allocate.
+	lo, hi := 0, len(g.times)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.times[mid] <= cutoff {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return g.baseIdx + uint64(lo)
+}
 
 // Served reports completed request-response pairs.
 func (g *OpenLoadGen) Served() uint64 { return g.served }
@@ -191,4 +354,4 @@ func (g *OpenLoadGen) Served() uint64 { return g.served }
 func (g *OpenLoadGen) Dropped() uint64 { return g.dropped }
 
 // Backlog reports requests offered but not yet answered.
-func (g *OpenLoadGen) Backlog() int { return int(g.sent - g.served) }
+func (g *OpenLoadGen) Backlog() int { return int(g.Sent() - g.served) }

@@ -30,9 +30,14 @@ func NewPeer(eng *sim.Engine, costs Costs, met *trace.Set) *Peer {
 // Connect wires the peer's transmit path to a device's DeliverToGuest.
 func (p *Peer) Connect(rx func(vcpu, bytes, tag int)) { p.sendToGuest = rx }
 
+// wireDelay is the peer→guest wire time for a message of the given size.
+func (p *Peer) wireDelay(bytes int) sim.Duration {
+	return p.wire + sim.Duration(p.wireNsPerB*float64(bytes))
+}
+
 // Send transmits bytes to the guest vCPU after wire latency.
 func (p *Peer) Send(vcpu, bytes, tag int) {
-	d := p.wire + sim.Duration(p.wireNsPerB*float64(bytes))
+	d := p.wireDelay(bytes)
 	p.eng.After(d, "peer-wire", func() {
 		if p.sendToGuest != nil {
 			p.sendToGuest(vcpu, bytes, tag)

@@ -1,18 +1,26 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_7.json, the perf trajectory record for
+# bench.sh — regenerate BENCH_8.json, the perf trajectory record for
 # this repo.
 #
 # Quick mode (default, used by `make bench` / `make check`):
 #   - runs the internal/sim engine microbenchmarks (ns/op, allocs/op),
 #     including the empirical-delta replays (ScheduleShortDelta,
-#     TimerChurn) that decide the heap-vs-wheel event queue question
+#     TimerChurn) that decide the heap-vs-wheel event queue question,
+#     plus the internal/vmm open-loop arrival benchmark
 #   - times a fixed benchsuite smoke run (-exp table3 -seed 42 -parallel 1)
+#   - times the open-loop headline: coregapctl serving 500 krps offered
+#     into a 1 Mi-connection pool (openloop_500k_s), and records
+#     coregapctl -memstats allocation totals at 100 krps vs 500 krps —
+#     the 5x-rate allocation ratio is the sublinear-memory evidence
 #   - records runner self-metrics (per-worker trials/steals/busy/idle,
 #     allocation deltas) from a table3 -parallel 2 -selfmetrics run
+#   - guards the headline serial keys (smoke wall_s, all_parallel1_s,
+#     openloop_parallel4_s, openloop_500k_s) against the previous
+#     BENCH_N.json: >10% slower prints a LOUD regression warning
 #   - stamps provenance (git SHA, go version, GOOS/GOARCH, active event
 #     queue, snapshot forking on/off)
-#   - preserves the "suite" section of an existing BENCH_7.json,
-#     seeding it from BENCH_6.json the first time
+#   - preserves the "suite" section of an existing BENCH_8.json,
+#     seeding it from BENCH_7.json (or BENCH_6.json) the first time
 #
 # Full mode (BENCH_FULL=1, used when re-baselining a perf PR):
 #   - re-measures the legacy 11-experiment suite (the same set every
@@ -37,7 +45,7 @@
 set -e
 cd "$(dirname "$0")/.."
 
-BENCH_OUT=${BENCH_OUT:-BENCH_7.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_8.json}
 # QUEUE selects the event-queue implementation for the suite runs (the
 # provenance records it); SNAPSHOT=0 disables boot-snapshot forking.
 QUEUE=${QUEUE:-heap}
@@ -54,8 +62,12 @@ trap 'rm -rf "$TMP"' EXIT
 echo "bench: sim microbenchmarks..."
 go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$|BenchmarkScheduleShortDelta$|BenchmarkTimerChurn$' \
     -benchmem -count=1 -run '^$' ./internal/sim >"$TMP/micro.txt"
+echo "bench: vmm open-loop arrival microbenchmark..."
+go test -bench 'BenchmarkOpenLoopArrivals$' \
+    -benchmem -count=1 -run '^$' ./internal/vmm >>"$TMP/micro.txt"
 
 go build -o "$TMP/benchsuite" ./cmd/benchsuite
+go build -o "$TMP/coregapctl" ./cmd/coregapctl
 
 walltime() {
     # POSIX wall-clock timing with subsecond resolution via awk.
@@ -67,6 +79,16 @@ walltime() {
 
 echo "bench: smoke run (table3, serial)..."
 SMOKE_S=$(walltime "$TMP/benchsuite" -exp table3 -seed 42 -parallel 1 -queue "$QUEUE" $SNAPFLAG)
+
+echo "bench: open-loop headline (coregapctl, 500 krps, 1Mi connections)..."
+OPENLOOP_500K_S=$(walltime "$TMP/coregapctl" -workload openloop -rate 500000 -clients 1048576 -queue "$QUEUE")
+# Allocation totals at 1x and 5x the offered rate, same pool size: with
+# the zero-alloc request lifecycle the ratio stays far below the 5x a
+# per-request-allocating generator would show.
+"$TMP/coregapctl" -workload openloop -rate 100000 -clients 1048576 -queue "$QUEUE" -memstats \
+    | grep '^memstats:' >"$TMP/mem100k.txt"
+"$TMP/coregapctl" -workload openloop -rate 500000 -clients 1048576 -queue "$QUEUE" -memstats \
+    | grep '^memstats:' >"$TMP/mem500k.txt"
 
 echo "bench: runner self-metrics (table3, -parallel 2)..."
 "$TMP/benchsuite" -exp table3 -seed 42 -parallel 2 -queue "$QUEUE" $SNAPFLAG \
@@ -99,6 +121,8 @@ if [ "${BENCH_FULL:-0}" = "1" ]; then
 fi
 
 MICRO="$TMP/micro.txt" SMOKE_S="$SMOKE_S" \
+OPENLOOP_500K_S="$OPENLOOP_500K_S" \
+MEM100K="$TMP/mem100k.txt" MEM500K="$TMP/mem500k.txt" \
 SELFMETRICS="$TMP/selfmetrics.json" \
 GIT_SHA="$GIT_SHA" GO_VERSION="$GO_VERSION" \
 QUEUE="$QUEUE" SNAPSHOT="$SNAPSHOT" \
@@ -113,7 +137,9 @@ import json, os, re
 out = os.environ["BENCH_OUT"]
 micro = {}
 for line in open(os.environ["MICRO"]):
-    m = re.match(r"(Benchmark\w+)\S*\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op", line)
+    # Custom metrics (e.g. BenchmarkOpenLoopArrivals' reqs/op) may sit
+    # between ns/op and -benchmem's B/op column.
+    m = re.match(r"(Benchmark\w+)\S*\s+\d+\s+([\d.]+) ns/op\s+(?:[\d.]+ \S+\s+)*?(\d+) B/op\s+(\d+) allocs/op", line)
     if m:
         micro[m.group(1)] = {
             "ns_per_op": float(m.group(2)),
@@ -121,19 +147,37 @@ for line in open(os.environ["MICRO"]):
             "allocs_per_op": int(m.group(4)),
         }
 
+
+def read_memstats(path):
+    try:
+        line = open(path).read()
+    except Exception:
+        return {}
+    return {k: int(v) for k, v in re.findall(r"(\w+)=(\d+)", line)}
+
+
 prev = {}
 if os.path.exists(out):
     try:
         prev = json.load(open(out))
     except Exception:
         prev = {}
-elif os.path.exists("BENCH_6.json"):
-    # First run after the BENCH_6 -> BENCH_7 switch: carry the suite
+else:
+    # First run after a BENCH_N -> BENCH_N+1 switch: carry the suite
     # trajectory forward so the history stays in one place.
-    try:
-        prev = json.load(open("BENCH_6.json"))
-    except Exception:
-        prev = {}
+    for older in ("BENCH_7.json", "BENCH_6.json"):
+        if os.path.exists(older):
+            try:
+                prev = json.load(open(older))
+            except Exception:
+                prev = {}
+            break
+
+# Snapshot the previous headline numbers before `suite` below starts
+# mutating the same dict in place — these feed the regression guard.
+prev_headline = {"smoke_wall_s": prev.get("smoke", {}).get("wall_s")}
+for k in ("all_parallel1_s", "openloop_parallel4_s", "openloop_500k_s"):
+    prev_headline[k] = prev.get("suite", {}).get(k)
 
 suite = prev.get("suite", {})
 # Earlier engines measured with the identical commands on the same host
@@ -165,6 +209,11 @@ suite.setdefault("note_pr8", "lazy uarch fills + boot-snapshot forking collapsed
                  "short-delta scheduling but loses the cancel-heavy TimerChurn replay "
                  "and the suite A/B (all_parallel1_wheel_s), so the 4-ary heap stays "
                  "the build default")
+suite.setdefault("note_pr10", "batched arrival generation + a free-listed request "
+                 "arena made the open-loop hot path allocation-free, and streamed "
+                 "trial reduction releases window buffers as workers finish; "
+                 "openloop_500k_s and the 100k-vs-500k allocation ratio are the "
+                 "headline evidence (5x offered rate, near-1x allocated bytes)")
 
 walls = {}
 for n in (1, 2, 4, 8):
@@ -180,6 +229,23 @@ if os.environ.get("SUITE_WHEEL_P1_S", ""):
     suite["all_parallel1_wheel_s"] = float(os.environ["SUITE_WHEEL_P1_S"])
 if os.environ.get("OPENLOOP_P4_S", ""):
     suite["openloop_parallel4_s"] = float(os.environ["OPENLOOP_P4_S"])
+if os.environ.get("OPENLOOP_500K_S", ""):
+    suite["openloop_500k_s"] = float(os.environ["OPENLOOP_500K_S"])
+mem100k = read_memstats(os.environ.get("MEM100K", ""))
+mem500k = read_memstats(os.environ.get("MEM500K", ""))
+if mem100k.get("total_alloc_bytes") and mem500k.get("total_alloc_bytes"):
+    ratio = mem500k["total_alloc_bytes"] / mem100k["total_alloc_bytes"]
+    suite["openloop_total_alloc_bytes_100k"] = mem100k["total_alloc_bytes"]
+    suite["openloop_total_alloc_bytes_500k"] = mem500k["total_alloc_bytes"]
+    suite["openloop_alloc_ratio_500k_over_100k"] = round(ratio, 3)
+    if ratio >= 5.0:
+        print("=" * 72)
+        print("bench: WARNING: OPEN-LOOP MEMORY SCALES WITH OFFERED RATE")
+        print(f"bench: WARNING:   5x the rate allocated {ratio:.2f}x the bytes;")
+        print("bench: WARNING:   the zero-alloc request lifecycle has regressed")
+        print("=" * 72)
+    else:
+        print(f"bench: open-loop allocation at 5x rate: {ratio:.2f}x bytes (sublinear)")
 
 if walls and 1 in walls:
     p1 = walls[1]
@@ -200,6 +266,37 @@ if walls and 1 in walls:
             print(f"bench: pooled -parallel {n}: {pn:.2f}s "
                   f"(efficiency {p1 / (n * pn):.2f})")
 
+# Regression guard: every headline serial key measured this run is
+# compared against the previous BENCH_N.json. Wall-clock numbers wander
+# with host load, so the gate is deliberately loose — but >10% slower
+# on the same host class is a real slowdown and gets a loud warning,
+# not a silent rewrite of the trajectory.
+guard = [("smoke wall_s", prev_headline["smoke_wall_s"], float(os.environ["SMOKE_S"]))]
+measured = {
+    "all_parallel1_s": walls.get(1),
+    "openloop_parallel4_s": (float(os.environ["OPENLOOP_P4_S"])
+                             if os.environ.get("OPENLOOP_P4_S") else None),
+    "openloop_500k_s": (float(os.environ["OPENLOOP_500K_S"])
+                        if os.environ.get("OPENLOOP_500K_S") else None),
+}
+for key in ("all_parallel1_s", "openloop_parallel4_s", "openloop_500k_s"):
+    guard.append((key, prev_headline[key], measured[key]))
+regressed = [(k, old, new) for k, old, new in guard
+             if old and new and new > 1.10 * old]
+if regressed:
+    print("=" * 72)
+    print("bench: WARNING: HEADLINE WALL-CLOCK REGRESSION (>10% vs previous)")
+    for k, old, new in regressed:
+        print(f"bench: WARNING:   {k}: {new:.2f}s vs {old:.2f}s previously "
+              f"({new / old:.2f}x)")
+    print("bench: WARNING: if the host class changed, re-baseline and say so;")
+    print("bench: WARNING: otherwise this PR made the suite slower")
+    print("=" * 72)
+else:
+    checked = [k for k, old, new in guard if old and new]
+    if checked:
+        print(f"bench: headline keys within 10% of previous: {', '.join(checked)}")
+
 runner = {}
 try:
     runner = json.load(open(os.environ["SELFMETRICS"]))
@@ -207,7 +304,7 @@ except Exception:
     pass
 
 doc = {
-    "pr": 8,
+    "pr": 10,
     "provenance": {
         "git_sha": os.environ.get("GIT_SHA", "unknown"),
         "go_version": os.environ.get("GO_VERSION", "unknown"),
@@ -219,8 +316,9 @@ doc = {
     # expected.
     "host_cpus": os.cpu_count(),
     "commands": {
-        "micro": "go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$|BenchmarkScheduleShortDelta$|BenchmarkTimerChurn$' -benchmem ./internal/sim",
+        "micro": "go test -bench 'BenchmarkSchedule$|BenchmarkCancel$|BenchmarkChurn$|BenchmarkScheduleShortDelta$|BenchmarkTimerChurn$' -benchmem ./internal/sim + go test -bench BenchmarkOpenLoopArrivals$ -benchmem ./internal/vmm",
         "smoke": "benchsuite -exp table3 -seed 42 -parallel 1 -queue <queue>",
+        "openloop_500k": "coregapctl -workload openloop -rate {100000,500000} -clients 1048576 [-memstats]",
         "suite": "benchsuite -exp <legacy 11 experiments> -seed 42 -parallel {1,2,4,8} -queue <queue> [+ -fresh | -snapshot=false | -queue wheel at -parallel 1]",
         "openloop": "benchsuite -exp openloop,openloop-burst -seed 42 -parallel 4",
         "runner": "benchsuite -exp table3 -seed 42 -parallel 2 -selfmetrics <file>",
@@ -238,9 +336,13 @@ PYEOF
 # The gate half of `make bench`: the steady-state schedule/fire path —
 # both queue implementations, tracing off and on, including Engine.Reset
 # reuse — must stay allocation-free, the streaming recorder's record
-# path must stay allocation-free once its pages are faulted in, and a
-# pooled trial must allocate at least 5x fewer bytes than a fresh one.
+# path must stay allocation-free once its pages are faulted in, the
+# open-loop generator's steady state (arrivals, delivery, response
+# matching, Sent/Backlog probes) must stay allocation-free at 500 krps,
+# and a pooled trial must allocate at least 5x fewer bytes than a
+# fresh one.
 go test -run 'TestZeroAlloc|TestEngineResetZeroAlloc' -count=1 ./internal/sim >/dev/null
 go test -run 'TestRecorderZeroAlloc|TestWindowedZeroAlloc|TestHistReset' -count=1 ./internal/trace >/dev/null
+go test -run 'TestZeroAllocOpenLoad' -count=1 ./internal/vmm >/dev/null
 go test -run 'TestTrialAllocs' -count=1 ./internal/exp >/dev/null
 echo "bench: zero-alloc and pooled-trial allocation gates pass"
